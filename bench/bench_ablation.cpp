@@ -1,0 +1,175 @@
+// Ablation studies called out by the paper but not tabulated:
+//   (a) §6.1  — hyperparameter robustness ("models were fairly robust to
+//               multiple hyperparameter values"): GDBT tree count/depth
+//               sweep, Seq2Seq window-length sweep.
+//   (b) §5.2  — prediction horizon: next-second vs. k-seconds-ahead.
+//   (c) fn. 5 — alternative throughput class boundaries.
+//   (d) §8.1  — temporal generalizability (train on early passes, test on
+//               later passes instead of a random split) and sensitivity
+//               to input-feature inaccuracies (extra GPS/compass noise at
+//               prediction time).
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "data/split.h"
+#include "ml/metrics.h"
+
+namespace {
+
+using namespace lumos;
+
+void gdbt_sweep(const data::Dataset& ds) {
+  bench::print_header("(a) GDBT hyperparameter robustness — Airport L+M+C");
+  std::printf("%-10s %-8s %8s %8s\n", "trees", "depth", "MAE", "w-F1");
+  bench::print_rule();
+  for (std::size_t trees : {50u, 150u, 300u}) {
+    for (int depth : {4, 8}) {
+      core::ExperimentConfig cfg = bench::standard_config();
+      cfg.gbdt.n_estimators = trees;
+      cfg.gbdt.max_depth = depth;
+      const auto r = core::evaluate_model(
+          core::ModelKind::kGdbt, ds, data::FeatureSetSpec::parse("L+M+C"),
+          cfg);
+      std::printf("%-10zu %-8d %8.0f %8.2f\n", trees, depth, r.mae,
+                  r.weighted_f1);
+    }
+  }
+}
+
+void seq2seq_window_sweep(const data::Dataset& ds) {
+  bench::print_header("(a) Seq2Seq window-length sweep — Airport L+M+C");
+  std::printf("%-10s %8s %8s\n", "window", "MAE", "w-F1");
+  bench::print_rule();
+  for (std::size_t win : {5u, 10u, 20u}) {
+    core::ExperimentConfig cfg = bench::standard_config();
+    cfg.seq2seq.seq_len = win;
+    const auto r = core::evaluate_model(
+        core::ModelKind::kSeq2Seq, ds, data::FeatureSetSpec::parse("L+M+C"),
+        cfg);
+    std::printf("%-10zu %8.0f %8.2f\n", win, r.mae, r.weighted_f1);
+  }
+}
+
+void horizon_sweep(const data::Dataset& ds) {
+  bench::print_header("(b) Prediction horizon — Airport, GDBT L+M+C");
+  std::printf("%-12s %8s %8s %8s\n", "horizon (s)", "MAE", "RMSE", "w-F1");
+  bench::print_rule();
+  for (int h : {1, 5, 10, 30}) {
+    core::ExperimentConfig cfg = bench::standard_config();
+    cfg.features.horizon = h;
+    const auto r = core::evaluate_model(
+        core::ModelKind::kGdbt, ds, data::FeatureSetSpec::parse("L+M+C"),
+        cfg);
+    std::printf("%-12d %8.0f %8.0f %8.2f\n", h, r.mae, r.rmse,
+                r.weighted_f1);
+  }
+  std::printf(
+      "\nExpected: error grows with horizon as the connection-history "
+      "features age out, approaching the geometry-only (L+M) level.\n");
+}
+
+void class_boundary_sweep(const data::Dataset& ds) {
+  bench::print_header("(c) Alternative class boundaries — Airport, GDBT L+M+C");
+  std::printf("%-18s %8s %10s\n", "low/high (Mbps)", "w-F1", "low-recall");
+  bench::print_rule();
+  const double bounds[][2] = {{200, 500}, {300, 700}, {400, 900}};
+  for (const auto& b : bounds) {
+    core::ExperimentConfig cfg = bench::standard_config();
+    cfg.features.low_mbps = b[0];
+    cfg.features.high_mbps = b[1];
+    const auto r = core::evaluate_model(
+        core::ModelKind::kGdbt, ds, data::FeatureSetSpec::parse("L+M+C"),
+        cfg);
+    std::printf("%4.0f / %-10.0f %8.2f %10.2f\n", b[0], b[1], r.weighted_f1,
+                r.low_recall);
+  }
+  std::printf("\nPaper footnote 5: the models work well for other class "
+              "choices too.\n");
+}
+
+void temporal_split(const data::Dataset& ds) {
+  bench::print_header(
+      "(d) Temporal generalizability — train on early passes, test on late");
+  const auto cfg = bench::standard_config();
+  const auto spec = data::FeatureSetSpec::parse("L+M+C");
+
+  // Random-split reference.
+  const auto random_r = core::evaluate_model(core::ModelKind::kGdbt, ds,
+                                             spec, cfg);
+
+  // Temporal split: first 70% of run ids train, last 30% test.
+  int max_run = 0;
+  for (const auto& s : ds.samples()) max_run = std::max(max_run, s.run_id);
+  const int cut = static_cast<int>(0.7 * (max_run + 1));
+  const auto train_ds = ds.filter(
+      [cut](const data::SampleRecord& s) { return s.run_id < cut; });
+  const auto test_ds = ds.filter(
+      [cut](const data::SampleRecord& s) { return s.run_id >= cut; });
+  const auto temporal_r =
+      core::evaluate_transfer(core::ModelKind::kGdbt, train_ds, test_ds,
+                              spec, cfg);
+
+  std::printf("%-24s %8s %8s\n", "split", "MAE", "w-F1");
+  bench::print_rule();
+  std::printf("%-24s %8.0f %8.2f\n", "random 70/30 (paper)", random_r.mae,
+              random_r.weighted_f1);
+  std::printf("%-24s %8.0f %8.2f\n", "temporal (early->late)",
+              temporal_r.mae, temporal_r.weighted_f1);
+  std::printf(
+      "\nExpected: mild degradation only — per-pass conditions vary but the "
+      "area's structure is stable (paper §8.1 leaves deeper temporal drift "
+      "to future work).\n");
+}
+
+void input_noise_sensitivity(const data::Dataset& ds) {
+  bench::print_header(
+      "(d) Sensitivity to input-feature inaccuracies — GDBT L+M");
+  const auto cfg = bench::standard_config();
+  const auto spec = data::FeatureSetSpec::parse("L+M");
+  const auto built = data::build_features(ds, spec, cfg.features);
+  const auto split = data::train_test_split(built.x.rows(),
+                                            cfg.train_fraction,
+                                            cfg.split_seed);
+  const auto x_train = data::subset(built.x, split.train);
+  const auto y_train = data::subset(built.y_reg, split.train);
+  const auto y_test = data::subset(built.y_reg, split.test);
+  ml::GbdtRegressor model(cfg.gbdt);
+  model.fit(x_train, y_train);
+
+  std::printf("%-26s %8s\n", "extra GPS noise at query", "MAE");
+  bench::print_rule();
+  for (double extra_m : {0.0, 2.0, 5.0, 10.0}) {
+    Rng rng(424242);
+    // Pixel columns are 0 and 1; ~0.85 m per pixel at zoom 17.
+    const double px_noise = extra_m / 0.85;
+    std::vector<double> pred;
+    pred.reserve(split.test.size());
+    std::vector<double> row;
+    for (const std::size_t idx : split.test) {
+      const auto src = built.x.row(idx);
+      row.assign(src.begin(), src.end());
+      row[0] += rng.normal(0.0, px_noise);
+      row[1] += rng.normal(0.0, px_noise);
+      pred.push_back(model.predict(row));
+    }
+    std::printf("%5.0f m %19s %8.0f\n", extra_m, "", ml::mae(pred, y_test));
+  }
+  std::printf(
+      "\nExpected: graceful degradation — a few meters of extra error is "
+      "within a grid cell or two; beyond ~10 m the location signal blurs "
+      "(the rationale for the paper's 5 m GPS-quality cut, §3.1).\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto ds = bench::airport_dataset();
+  gdbt_sweep(ds);
+  seq2seq_window_sweep(ds);
+  horizon_sweep(ds);
+  class_boundary_sweep(ds);
+  temporal_split(ds);
+  input_noise_sensitivity(ds);
+  return 0;
+}

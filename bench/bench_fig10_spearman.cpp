@@ -1,0 +1,63 @@
+// Reproduces paper Fig. 10: Spearman's rank correlation between airport
+// throughput traces, grouped by mobility direction (NB-NB, SB-SB pairs)
+// versus across directions (NB-SB pairs).
+#include "bench_util.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace lumos;
+
+std::vector<std::vector<double>> traces_of(const data::Dataset& ds, int traj) {
+  const auto sub = ds.filter(
+      [traj](const data::SampleRecord& s) { return s.trajectory_id == traj; });
+  return sub.throughput_traces();
+}
+
+std::vector<double> pair_coeffs(const std::vector<std::vector<double>>& a,
+                                const std::vector<std::vector<double>>& b,
+                                bool same_set) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = same_set ? i + 1 : 0; j < b.size(); ++j) {
+      const std::size_t len = std::min(a[i].size(), b[j].size());
+      if (len < 30) continue;
+      out.push_back(stats::spearman(std::span(a[i].data(), len),
+                                    std::span(b[j].data(), len)));
+    }
+  }
+  return out;
+}
+
+void print_box(const char* label, const std::vector<double>& coeffs) {
+  if (coeffs.empty()) {
+    std::printf("%-18s (no pairs)\n", label);
+    return;
+  }
+  const auto s = stats::summarize(coeffs);
+  std::printf("%-18s n=%3zu  mean=%6.3f  [min %5.2f | p25 %5.2f | med %5.2f "
+              "| p75 %5.2f | max %5.2f]\n",
+              label, s.n, s.mean, s.min, s.p25, s.median, s.p75, s.max);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 10 — Spearman coefficients of airport traces, by direction");
+  const auto ds = bench::airport_dataset();
+  const auto nb = traces_of(ds, 1);
+  const auto sb = traces_of(ds, 2);
+  std::printf("NB traces: %zu, SB traces: %zu\n\n", nb.size(), sb.size());
+
+  print_box("NB vs NB", pair_coeffs(nb, nb, true));
+  print_box("SB vs SB", pair_coeffs(sb, sb, true));
+  print_box("NB vs SB (cross)", pair_coeffs(nb, sb, false));
+
+  std::printf(
+      "\nPaper: same-direction means 0.61 (NB) and 0.74 (SB); "
+      "cross-direction mean only 0.021 — grouping traces by direction is "
+      "what makes them consistent.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Fig. 11: throughput versus UE-panel distance for the
+// two airport panels. The unobstructed north panel decays monotonically
+// (Fig. 11a); the south panel dips in the booth band and regains LoS
+// beyond it (Fig. 11b).
+#include "bench_util.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace lumos;
+
+void distance_table(const char* title, const data::Dataset& ds, int cell_id,
+                    double bin_m) {
+  std::printf("\n%s\n", title);
+  std::printf("%-14s %6s %8s %8s %8s\n", "distance bin", "n", "p25", "median",
+              "p75");
+  bench::print_rule();
+  for (double lo = 0.0; lo < 200.0; lo += bin_m) {
+    std::vector<double> v;
+    for (const auto& s : ds.samples()) {
+      if (s.cell_id != cell_id || !s.has_panel_geometry()) continue;
+      if (s.ue_panel_distance_m >= lo && s.ue_panel_distance_m < lo + bin_m) {
+        v.push_back(s.throughput_mbps);
+      }
+    }
+    if (v.size() < 15) {
+      std::printf("[%4.0f,%4.0f)m %6zu %8s %8s %8s\n", lo, lo + bin_m,
+                  v.size(), "n/a", "n/a", "n/a");
+      continue;
+    }
+    const auto su = stats::summarize(v);
+    std::printf("[%4.0f,%4.0f)m %6zu %8.0f %8.0f %8.0f  %s\n", lo, lo + bin_m,
+                v.size(), su.p25, su.median, su.p75,
+                bench::bar(su.median, 1200.0, 30).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 11 — varying impact of UE-panel distance");
+  const auto ds = bench::airport_dataset();
+  distance_table("Fig. 11a — north panel (unobstructed)", ds, /*cell=*/2,
+                 25.0);
+  distance_table("Fig. 11b — south panel (booths at 22-52 m)", ds, /*cell=*/1,
+                 15.0);
+  std::printf(
+      "\nPaper: north panel decays with distance; south panel throughput "
+      "first drops (NLoS band) then RAMPS BACK UP once LoS is regained — "
+      "the regained throughput outweighs the distance penalty.\n");
+  return 0;
+}

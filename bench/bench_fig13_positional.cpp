@@ -1,0 +1,74 @@
+// Reproduces paper Fig. 13: the joint impact of the UE-panel positional
+// angle theta_p (sectors F/L/R/B) and distance on 5G throughput, using
+// the airport south panel like the paper.
+#include "bench_util.h"
+#include "geo/angles.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace lumos;
+
+const char* sector_name(char c) {
+  switch (c) {
+    case 'F': return "F (front)";
+    case 'B': return "B (back)";
+    case 'L': return "L (left)";
+    case 'R': return "R (right)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 13 — positional angle sector x distance vs throughput "
+      "(airport south panel)");
+  const auto ds = bench::airport_dataset();
+  const sim::Area area = sim::make_airport();
+  const sim::Panel south = area.env.panels()[0];
+  const geo::LocalFrame& frame = area.env.frame();
+
+  const double dist_edges[] = {0.0, 25.0, 50.0, 100.0, 200.0, 300.0};
+  std::printf("%-10s", "sector");
+  for (std::size_t d = 0; d + 1 < std::size(dist_edges); ++d) {
+    std::printf(" | [%3.0f,%3.0f)m", dist_edges[d], dist_edges[d + 1]);
+  }
+  std::printf("\n");
+  bench::print_rule();
+
+  for (char sector : {'F', 'L', 'R', 'B'}) {
+    std::printf("%-10s", sector_name(sector));
+    for (std::size_t d = 0; d + 1 < std::size(dist_edges); ++d) {
+      std::vector<double> v;
+      for (const auto& s : ds.samples()) {
+        if (s.cell_id != south.id || !s.has_panel_geometry()) continue;
+        // theta_p is unsigned; recover the left/right side from the UE's
+        // signed cross-track offset w.r.t. the panel's facing direction.
+        const geo::Vec2 local = frame.to_local({s.latitude, s.longitude});
+        const geo::Vec2 rel = local - south.pos;
+        const double signed_off =
+            geo::cross(geo::unit_from_bearing(south.bearing_deg), rel);
+        if (geo::positional_sector(s.theta_p_deg, -signed_off) != sector) {
+          continue;
+        }
+        if (s.ue_panel_distance_m >= dist_edges[d] &&
+            s.ue_panel_distance_m < dist_edges[d + 1]) {
+          v.push_back(s.throughput_mbps);
+        }
+      }
+      if (v.size() < 10) {
+        std::printf(" |   n/a     ");
+      } else {
+        std::printf(" | %5.0f Mbps ", stats::median(v));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper: the F sector far outperforms L/R/B, especially at short "
+      "distance; behind the panel (B) throughput collapses regardless of "
+      "distance.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Fig. 14: the impact of mobility speed on 5G throughput
+// on the Loop area — coarse 5 kmph bins for driving (Fig. 14a) and a
+// fine-grained walking-vs-driving comparison (Fig. 14b).
+#include "bench_util.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace lumos;
+
+void speed_table(const char* title, const data::Dataset& ds,
+                 data::Activity mode, double bin_kmph, double max_kmph) {
+  std::printf("\n%s\n", title);
+  std::printf("%-14s %6s %8s %8s %8s %8s\n", "speed bin", "n", "p25",
+              "median", "p75", "max");
+  bench::print_rule();
+  for (double lo = 0.0; lo < max_kmph; lo += bin_kmph) {
+    std::vector<double> v;
+    for (const auto& s : ds.samples()) {
+      const double kmph = s.moving_speed_mps * 3.6;
+      const bool mode_ok =
+          s.detected_activity == mode ||
+          (mode == data::Activity::kDriving &&
+           s.detected_activity == data::Activity::kStill && kmph < 2.0 &&
+           s.trajectory_id >= 3);  // stopped car still counts as driving
+      if (!mode_ok) continue;
+      if (kmph >= lo && kmph < lo + bin_kmph) v.push_back(s.throughput_mbps);
+    }
+    if (v.size() < 12) continue;
+    const auto su = stats::summarize(v);
+    std::printf("[%4.0f,%4.0f)  %6zu %8.0f %8.0f %8.0f %8.0f  %s\n", lo,
+                lo + bin_kmph, v.size(), su.p25, su.median, su.p75, su.max,
+                bench::bar(su.median, 900.0, 25).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 14 — impact of mobility speed (Loop area)");
+  const auto ds = bench::loop_dataset();
+
+  speed_table("Fig. 14a — driving, 5 kmph bins", ds,
+              data::Activity::kDriving, 5.0, 45.0);
+  speed_table("Fig. 14b (driving), 1 kmph bins up to 8", ds,
+              data::Activity::kDriving, 1.0, 8.0);
+  speed_table("Fig. 14b (walking), 1 kmph bins", ds,
+              data::Activity::kWalking, 1.0, 8.0);
+
+  std::printf(
+      "\nPaper: stopped/slow cars peak at ~1.8 Gbps (median ~557 Mbps); past "
+      "5 kmph driving medians collapse to 60-164 Mbps; walking shows no "
+      "degradation with speed and medians 148-457 Mbps above driving.\n");
+  return 0;
+}

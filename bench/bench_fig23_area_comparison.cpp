@@ -1,0 +1,56 @@
+// Reproduces paper Fig. 23 (Appendix A.3): per-area comparison of
+// Lumos5G's models against the existing baselines, by weighted-average F1.
+#include "bench_util.h"
+
+namespace {
+
+using namespace lumos;
+
+void area_rows(const char* name, const data::Dataset& ds,
+               const core::ExperimentConfig& cfg, bool has_T) {
+  std::printf("\n%s\n", name);
+  std::printf("%-10s %-8s %8s\n", "model", "group", "w-avgF1");
+  bench::print_rule();
+  struct Cell {
+    core::ModelKind kind;
+    const char* group;
+  };
+  std::vector<Cell> cells = {
+      {core::ModelKind::kKnn, "L"},
+      {core::ModelKind::kRandomForest, "L"},
+      {core::ModelKind::kKriging, "L"},
+      {core::ModelKind::kKnn, "L+M+C"},
+      {core::ModelKind::kRandomForest, "L+M+C"},
+      {core::ModelKind::kGdbt, "L+M+C"},
+      {core::ModelKind::kSeq2Seq, "L+M+C"},
+  };
+  if (has_T) {
+    cells.push_back({core::ModelKind::kGdbt, "T+M+C"});
+    cells.push_back({core::ModelKind::kSeq2Seq, "T+M+C"});
+  }
+  for (const auto& c : cells) {
+    const auto r = core::evaluate_model(c.kind, ds,
+                                        data::FeatureSetSpec::parse(c.group),
+                                        cfg);
+    if (r.valid) {
+      std::printf("%-10s %-8s %8.2f  %s\n", core::to_string(c.kind), c.group,
+                  r.weighted_f1, bench::bar(r.weighted_f1, 1.0, 30).c_str());
+    } else {
+      std::printf("%-10s %-8s %8s\n", core::to_string(c.kind), c.group, "NA");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 23 — per-area model comparison (w-avgF1)");
+  const auto cfg = bench::standard_config();
+  area_rows("Intersection", bench::intersection_dataset(), cfg, true);
+  area_rows("Airport", bench::airport_dataset(), cfg, true);
+  area_rows("Loop", bench::loop_dataset(), cfg, false);
+  std::printf(
+      "\nPaper: Lumos5G models achieve 5-88%% higher w-avgF1 than "
+      "location-only KNN/RF and 16-113%% higher than Kriging across areas.\n");
+  return 0;
+}

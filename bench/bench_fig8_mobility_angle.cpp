@@ -1,0 +1,60 @@
+// Reproduces paper Figs. 8 and 18: the impact of the UE-panel mobility
+// angle theta_m on 5G throughput — overall and split by serving panel at
+// the Airport, plus the Intersection for broader angle coverage.
+#include "bench_util.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace lumos;
+
+void angle_table(const char* title, const data::Dataset& ds,
+                 int cell_filter /* -1 = all */) {
+  std::printf("\n%s\n", title);
+  std::printf("%-12s %6s %8s %8s %8s\n", "theta_m bin", "n", "p25", "median",
+              "p75");
+  bench::print_rule();
+  for (int lo = 0; lo < 180; lo += 30) {
+    std::vector<double> v;
+    for (const auto& s : ds.samples()) {
+      if (!s.has_panel_geometry()) continue;
+      if (cell_filter >= 0 && s.cell_id != cell_filter) continue;
+      if (s.radio_type != data::RadioType::kNrMmWave) continue;
+      if (s.theta_m_deg >= lo && s.theta_m_deg < lo + 30) {
+        v.push_back(s.throughput_mbps);
+      }
+    }
+    if (v.size() < 15) {
+      std::printf("[%3d,%3d)   %6zu %8s %8s %8s\n", lo, lo + 30, v.size(),
+                  "n/a", "n/a", "n/a");
+      continue;
+    }
+    const auto su = stats::summarize(v);
+    std::printf("[%3d,%3d)   %6zu %8.0f %8.0f %8.0f  %s\n", lo, lo + 30,
+                v.size(), su.p25, su.median, su.p75,
+                bench::bar(su.median, 1200.0, 30).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figs. 8 & 18 — impact of UE-panel mobility angle theta_m");
+  std::printf(
+      "Convention (paper Fig. 8): theta_m=180 moving head-on toward the\n"
+      "panel face; theta_m=0 walking away (body blocks LoS).\n");
+
+  const auto airport = bench::airport_dataset();
+  angle_table("Fig. 8 — Airport, all panels", airport, -1);
+  angle_table("Fig. 18a — Airport, south panel only", airport, 1);
+  angle_table("Fig. 18b — Airport, north panel only", airport, 2);
+
+  const auto intersection = bench::intersection_dataset();
+  angle_table("Intersection (wider angle coverage)", intersection, -1);
+
+  std::printf(
+      "\nPaper: throughput is highest for theta_m in [150,180) and degrades "
+      "toward 0 (body blockage); some NLoS bins salvaged by reflections.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark): hot-path costs of the simulator
+// and the prediction stack — per-second sim tick, feature extraction,
+// and model inference latency (GDBT vs Seq2Seq vs KNN), which bounds how
+// cheaply a 5G-aware app can query Lumos5G online (paper §5.2 notes
+// short-term inference must be lightweight).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/lumos5g.h"
+#include "core/throughput_map.h"
+#include "data/features.h"
+#include "ml/gbdt.h"
+#include "ml/knn.h"
+#include "nn/seq2seq.h"
+#include "sim/areas.h"
+#include "sim/connection.h"
+
+namespace {
+
+using namespace lumos;
+
+const sim::Area& airport_area() {
+  static const sim::Area area = sim::make_airport();
+  return area;
+}
+
+const data::Dataset& airport_ds() {
+  static const data::Dataset ds =
+      sim::collect_area_dataset(airport_area(), 6, 0, 11);
+  return ds;
+}
+
+void BM_SimTick(benchmark::State& state) {
+  const auto& area = airport_area();
+  Rng rng(1);
+  sim::ConnectionManager conn(area.env, rng);
+  sim::UEContext ue{{1.5, 0.0}, 0.0, 1.4, data::Activity::kWalking};
+  double y = -95.0;
+  for (auto _ : state) {
+    ue.pos.y = y;
+    y += 1.4;
+    if (y > 95.0) y = -95.0;
+    benchmark::DoNotOptimize(conn.tick(ue, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimTick);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& ds = airport_ds();
+  const auto spec = data::FeatureSetSpec::parse("L+M+C");
+  const data::FeatureConfig cfg;
+  const auto runs = ds.runs();
+  std::vector<data::SampleRecord> window;
+  for (std::size_t i = 20; i < 25; ++i) window.push_back(ds[runs[0][i]]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::feature_row_from_window(window, spec, cfg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_GdbtPredict(benchmark::State& state) {
+  const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M+C"), {});
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = static_cast<std::size_t>(state.range(0));
+  static std::map<long, ml::GbdtRegressor> cache;
+  auto [it, fresh] = cache.try_emplace(state.range(0), cfg);
+  if (fresh) it->second.fit(built.x, built.y_reg);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(it->second.predict(built.x.row(row)));
+    row = (row + 1) % built.x.rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GdbtPredict)->Arg(100)->Arg(300);
+
+void BM_KnnPredict(benchmark::State& state) {
+  const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M"), {});
+  static ml::KnnRegressor knn;
+  static bool fitted = false;
+  if (!fitted) {
+    knn.fit(built.x, built.y_reg);
+    fitted = true;
+  }
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.predict(built.x.row(row)));
+    row = (row + 1) % built.x.rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnnPredict);
+
+void BM_Seq2SeqPredict(benchmark::State& state) {
+  nn::Seq2SeqConfig cfg;
+  cfg.input_dim = 5;
+  cfg.hidden = 40;
+  cfg.layers = 2;
+  cfg.seq_len = 12;
+  cfg.epochs = 1;
+  static nn::Seq2Seq* net = nullptr;
+  if (net == nullptr) {
+    net = new nn::Seq2Seq(cfg);
+    std::vector<nn::SeqSample> tiny(8);
+    Rng rng(2);
+    for (auto& s : tiny) {
+      s.x.resize(cfg.seq_len * cfg.input_dim);
+      for (auto& v : s.x) v = rng.normal(0.0, 1.0);
+      s.y.assign(1, 0.0);
+    }
+    net->fit(tiny);
+  }
+  std::vector<double> window(cfg.seq_len * cfg.input_dim, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->predict(window));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Seq2SeqPredict);
+
+void BM_GdbtTrain1k(benchmark::State& state) {
+  const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M"), {});
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = 50;
+  // Train on the first 1000 rows.
+  ml::FeatureMatrix x(1000, built.x.cols());
+  std::vector<double> y(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const auto src = built.x.row(i);
+    std::copy(src.begin(), src.end(), x.row(i).begin());
+    y[i] = built.y_reg[i];
+  }
+  for (auto _ : state) {
+    ml::GbdtRegressor model(cfg);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_GdbtTrain1k)->Unit(benchmark::kMillisecond);
+
+void BM_ThroughputMapBuild(benchmark::State& state) {
+  const auto& ds = airport_ds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ThroughputMap::build(ds, 2));
+  }
+}
+BENCHMARK(BM_ThroughputMapBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Reproduces paper Table 5: the percentage of geolocation (grid cell)
+// pairs whose throughput distributions differ significantly — pairwise
+// t-test on means and Levene test on variances, significance level 0.1.
+#include <map>
+
+#include "bench_util.h"
+#include "stats/hypothesis.h"
+
+namespace {
+
+using namespace lumos;
+
+struct PairwiseResult {
+  double t_frac = 0.0;
+  double levene_frac = 0.0;
+  std::size_t cells = 0;
+  std::size_t pairs = 0;
+};
+
+PairwiseResult pairwise_tests(const data::Dataset& ds,
+                              std::size_t max_cells = 120) {
+  // Collect per-cell samples with enough support.
+  std::vector<std::vector<double>> cells;
+  for (const auto& [key, v] : ds.throughput_by_grid(3)) {
+    if (v.size() >= 10) cells.push_back(v);
+  }
+  // Cap the O(n^2) pair count deterministically (stride subsample).
+  if (cells.size() > max_cells) {
+    std::vector<std::vector<double>> sub;
+    const double step =
+        static_cast<double>(cells.size()) / static_cast<double>(max_cells);
+    for (std::size_t i = 0; i < max_cells; ++i) {
+      sub.push_back(cells[static_cast<std::size_t>(i * step)]);
+    }
+    cells = std::move(sub);
+  }
+
+  PairwiseResult out;
+  out.cells = cells.size();
+  std::size_t t_sig = 0, lev_sig = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      ++out.pairs;
+      if (stats::welch_t_test(cells[i], cells[j]).p_value < 0.1) ++t_sig;
+      if (stats::levene_test(cells[i], cells[j]).p_value < 0.1) ++lev_sig;
+    }
+  }
+  if (out.pairs > 0) {
+    out.t_frac = 100.0 * static_cast<double>(t_sig) /
+                 static_cast<double>(out.pairs);
+    out.levene_frac = 100.0 * static_cast<double>(lev_sig) /
+                      static_cast<double>(out.pairs);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 5 — % of geolocation pairs with significantly different "
+      "throughput (p < 0.1)");
+
+  const auto indoor = pairwise_tests(bench::airport_dataset());
+  const auto outdoor = pairwise_tests(bench::intersection_dataset());
+
+  std::printf("%-24s %10s %10s\n", "", "Indoor", "Outdoor");
+  lumos::bench::print_rule();
+  std::printf("%-24s %9.1f%% %9.1f%%\n", "Pairwise t-test", indoor.t_frac,
+              outdoor.t_frac);
+  std::printf("%-24s %9.1f%% %9.1f%%\n", "Pairwise Levene test",
+              indoor.levene_frac, outdoor.levene_frac);
+  std::printf("(cells: indoor %zu, outdoor %zu; pairs: %zu / %zu)\n",
+              indoor.cells, outdoor.cells, indoor.pairs, outdoor.pairs);
+  std::printf(
+      "\nPaper: t-test 70.86%% / 69.66%%; Levene 64.26%% / 61.06%% — "
+      "geolocation still matters for 5G throughput prediction.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces paper Table 9: Lumos5G (GDBT, Seq2Seq) against the 3G/4G-era
+// baselines — KNN, Random Forest [20], Ordinary Kriging [26] and the
+// history-based Harmonic Mean [38, 64] — on the Global dataset, both
+// regression and classification.
+#include "bench_util.h"
+
+namespace {
+
+using namespace lumos;
+
+constexpr core::ModelKind kModels[] = {
+    core::ModelKind::kKnn, core::ModelKind::kRandomForest,
+    core::ModelKind::kKriging, core::ModelKind::kGdbt,
+    core::ModelKind::kSeq2Seq};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 9 — baseline comparison on the Global dataset");
+  const auto cfg = bench::standard_config();
+  const auto ds = bench::global_dataset();
+  const char* groups[] = {"L", "L+M", "T+M", "L+M+C", "T+M+C"};
+
+  // Cache results so both sub-tables reuse one training pass per cell.
+  std::vector<std::vector<core::EvalResult>> results;
+  for (const char* g : groups) {
+    std::vector<core::EvalResult> row;
+    for (const auto kind : kModels) {
+      row.push_back(core::evaluate_model(
+          kind, ds, data::FeatureSetSpec::parse(g), cfg));
+    }
+    results.push_back(std::move(row));
+  }
+
+  std::printf("\nRegression (MAE | RMSE, Mbps)\n");
+  std::printf("%-8s %11s %11s %11s %11s %11s\n", "Group", "KNN", "RF", "OK",
+              "GDBT", "Seq2Seq");
+  bench::print_rule();
+  for (std::size_t gi = 0; gi < std::size(groups); ++gi) {
+    std::printf("%-8s", groups[gi]);
+    for (const auto& r : results[gi]) {
+      if (r.valid) {
+        std::printf(" %5.0f|%5.0f", r.mae, r.rmse);
+      } else {
+        std::printf("     NA    ");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nClassification (weighted-average F1)\n");
+  std::printf("%-8s %11s %11s %11s %11s %11s\n", "Group", "KNN", "RF", "OK",
+              "GDBT", "Seq2Seq");
+  bench::print_rule();
+  for (std::size_t gi = 0; gi < std::size(groups); ++gi) {
+    std::printf("%-8s", groups[gi]);
+    for (const auto& r : results[gi]) {
+      if (r.valid) {
+        std::printf(" %10.2f", r.weighted_f1);
+      } else {
+        std::printf("         NA");
+      }
+    }
+    std::printf("\n");
+  }
+
+  const auto hm = core::evaluate_model(core::ModelKind::kHarmonicMean, ds,
+                                       data::FeatureSetSpec::parse("L"), cfg);
+  std::printf("\nHistory-based Harmonic Mean (HM): MAE %.0f | RMSE %.0f | "
+              "w-avgF1 %.2f\n", hm.mae, hm.rmse, hm.weighted_f1);
+
+  // Headline: improvement factor of the best Lumos5G model over the best
+  // baseline per feature group (paper: 1.37x-4.84x error reduction).
+  std::printf("\nError-reduction factor (best baseline MAE / best Lumos5G MAE)\n");
+  for (std::size_t gi = 0; gi < std::size(groups); ++gi) {
+    double best_base = 1e18, best_ours = 1e18;
+    for (std::size_t mi = 0; mi < std::size(kModels); ++mi) {
+      const auto& r = results[gi][mi];
+      if (!r.valid) continue;
+      if (kModels[mi] == core::ModelKind::kGdbt ||
+          kModels[mi] == core::ModelKind::kSeq2Seq) {
+        best_ours = std::min(best_ours, r.mae);
+      } else {
+        best_base = std::min(best_base, r.mae);
+      }
+    }
+    if (best_base < 1e17 && best_ours < 1e17) {
+      std::printf("  %-8s %.2fx\n", groups[gi], best_base / best_ours);
+    }
+  }
+  std::printf(
+      "\nPaper: GDBT/Seq2Seq dominate all baselines in every group; "
+      "27-79%% MAE reduction; OK applies to L only.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces the paper's §6.2 transferability analysis: a T+M model
+// trained only on samples served by the airport NORTH panel, evaluated on
+// samples served by the SOUTH panel — location-agnostic tower features
+// should transfer (paper: w-avgF1 0.71 overall, 0.91 within 25 m).
+#include "bench_util.h"
+
+int main() {
+  using namespace lumos;
+  bench::print_header("§6.2 — transferability of T+M across panels");
+  auto cfg = bench::standard_config();
+  const auto ds = bench::airport_dataset();
+
+  const auto north = ds.filter(
+      [](const data::SampleRecord& s) { return s.cell_id == 2; });
+  const auto south = ds.filter(
+      [](const data::SampleRecord& s) { return s.cell_id == 1; });
+  std::printf("north-panel samples: %zu, south-panel samples: %zu\n",
+              north.size(), south.size());
+
+  const auto spec = data::FeatureSetSpec::parse("T+M");
+  const auto overall =
+      core::evaluate_transfer(core::ModelKind::kGdbt, north, south, spec, cfg);
+  std::printf("\nTrain on NORTH, test on SOUTH (all distances):\n");
+  std::printf("  w-avgF1 %.2f | low recall %.2f | MAE %.0f | RMSE %.0f "
+              "(n=%zu train / %zu test)\n",
+              overall.weighted_f1, overall.low_recall, overall.mae,
+              overall.rmse, overall.n_train, overall.n_test);
+
+  const auto south_near = south.filter([](const data::SampleRecord& s) {
+    return s.has_panel_geometry() && s.ue_panel_distance_m < 25.0;
+  });
+  const auto near =
+      core::evaluate_transfer(core::ModelKind::kGdbt, north, south_near, spec,
+                              cfg);
+  std::printf("\nTrain on NORTH, test on SOUTH within 25 m:\n");
+  if (near.valid) {
+    std::printf("  w-avgF1 %.2f | low recall %.2f | MAE %.0f (n=%zu test)\n",
+                near.weighted_f1, near.low_recall, near.mae, near.n_test);
+  } else {
+    std::printf("  insufficient near-field samples (%zu)\n", south_near.size());
+  }
+
+  // Control: the same-distribution ceiling.
+  const auto self = core::evaluate_model(core::ModelKind::kGdbt, ds, spec, cfg);
+  std::printf("\nControl — T+M trained and tested on the full airport: "
+              "w-avgF1 %.2f\n", self.weighted_f1);
+
+  std::printf(
+      "\nPaper: transfer w-avgF1 0.71 overall, rising to 0.91 below 25 m "
+      "where the two panels' environments are most similar.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared infrastructure for the reproduction benchmarks: standard dataset
+// builds (sizes scaled for a single-core CPU budget, seeds fixed for
+// reproducibility) and table-printing helpers.
+//
+// Every bench binary regenerates one table or figure of the paper and
+// prints it in a comparable text form; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.h"
+#include "data/dataset.h"
+#include "sim/areas.h"
+
+namespace lumos::bench {
+
+/// Seeds for the three measurement campaigns. Fixed so every bench binary
+/// sees the same datasets.
+inline constexpr std::uint64_t kAirportSeed = 1001;
+inline constexpr std::uint64_t kIntersectionSeed = 2002;
+inline constexpr std::uint64_t kLoopSeed = 3003;
+
+/// The paper walks each trajectory >= 30 times; we scale the pass counts
+/// down so the whole suite runs in minutes on one core while keeping
+/// thousands of samples per area.
+inline data::Dataset airport_dataset() {
+  return sim::collect_area_dataset(sim::make_airport(), /*walk_runs=*/20,
+                                   /*drive_runs=*/0, kAirportSeed);
+}
+
+inline data::Dataset intersection_dataset() {
+  return sim::collect_area_dataset(sim::make_intersection(), /*walk_runs=*/5,
+                                   /*drive_runs=*/0, kIntersectionSeed);
+}
+
+inline data::Dataset loop_dataset() {
+  return sim::collect_area_dataset(sim::make_loop(), /*walk_runs=*/2,
+                                   /*drive_runs=*/3, kLoopSeed);
+}
+
+/// Union of the three areas (paper's "Global" dataset).
+inline data::Dataset global_dataset() {
+  data::Dataset ds = airport_dataset();
+  ds.append_all(intersection_dataset());
+  ds.append_all(loop_dataset());
+  return ds;
+}
+
+/// Evaluation configuration used across Tables 7/8/9 benches. The paper's
+/// 8000-tree GDBT and 2000-epoch Seq2Seq are scaled to CPU-sized budgets
+/// with the same architecture shape.
+inline core::ExperimentConfig standard_config() {
+  core::ExperimentConfig cfg;
+  cfg.gbdt.n_estimators = 300;
+  cfg.seq2seq.hidden = 32;       // paper: 128
+  cfg.seq2seq.layers = 2;        // paper: 2
+  cfg.seq2seq.seq_len = 10;      // paper: 20
+  cfg.seq2seq.out_len = 1;
+  cfg.seq2seq.epochs = 10;       // paper: 2000
+  cfg.seq2seq.batch_size = 96;   // paper: 256
+
+  // Baselines configured after the cited 3G/4G systems (paper §6.3):
+  // KNN on raw feature values (distances dominated by the coordinate
+  // scale, like classic location-lookup predictors) and a moderate-depth
+  // Random Forest as used for signal-strength maps [20]. The library
+  // defaults are stronger; see EXPERIMENTS.md for the discussion.
+  cfg.knn.k = 5;
+  cfg.knn.standardize = false;
+  cfg.knn.max_train = 6000;
+  cfg.forest.n_trees = 60;
+  cfg.forest.max_depth = 6;
+  return cfg;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+/// Simple horizontal bar for text "plots".
+inline std::string bar(double value, double max_value, int width = 40) {
+  if (max_value <= 0.0) return "";
+  int n = static_cast<int>(value / max_value * width + 0.5);
+  if (n < 0) n = 0;
+  if (n > width) n = width;
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace lumos::bench

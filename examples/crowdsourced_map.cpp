@@ -1,0 +1,79 @@
+// Crowdsourced 5G throughput mapping — the paper's §8.2 vision: many
+// users' UEs contribute measurement campaigns; the platform fuses them
+// into one map with per-cell contributor support, down-weighting devices
+// with poor GPS. A single user covers a sliver of the area; the crowd
+// covers it all.
+//
+// Usage: ./examples/crowdsourced_map [n_users]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/crowd.h"
+#include "sim/areas.h"
+
+int main(int argc, char** argv) {
+  using namespace lumos;
+  const int n_users = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  const sim::Area area = sim::make_intersection();
+  const sim::MeasurementCollector collector(area.env);
+
+  std::vector<core::Contribution> uploads;
+  Rng seeder(31);
+  std::printf("simulating %d contributors...\n", n_users);
+  for (int u = 0; u < n_users; ++u) {
+    // Each user walks a couple of (different) trajectories once.
+    data::Dataset ds;
+    sim::CollectorConfig cfg;
+    cfg.n_runs = 1;
+    sim::MotionConfig walk;
+    const std::size_t t0 = static_cast<std::size_t>(u) % area.walking.size();
+    const std::size_t t1 =
+        (static_cast<std::size_t>(u) + 5) % area.walking.size();
+    collector.collect(area.walking[t0], walk, {}, cfg, seeder.next_u64(), ds);
+    collector.collect(area.walking[t1], walk, {}, cfg, seeder.next_u64(), ds);
+    ds.clean();
+    // Weight by the upload's GPS quality (mean reported accuracy).
+    double err = 0.0;
+    for (const auto& s : ds.samples()) err += s.gps_accuracy_m;
+    err /= std::max<std::size_t>(1, ds.size());
+    core::Contribution c;
+    c.samples = std::move(ds);
+    c.weight = 1.0 / (1.0 + err);
+    std::printf("  user %d: %zu samples, gps %.1f m, weight %.2f\n", u,
+                c.samples.size(), err, c.weight);
+    uploads.push_back(std::move(c));
+  }
+
+  // Single-user map vs crowd map.
+  const auto solo = core::CrowdMap::build({uploads.front()});
+  const auto crowd = core::CrowdMap::build(uploads);
+
+  std::printf("\n%-28s %10s %10s\n", "", "1 user", "crowd");
+  std::printf("---------------------------------------------------\n");
+  std::printf("%-28s %10zu %10zu\n", "measured ~2m cells",
+              solo.cells().size(), crowd.cells().size());
+  std::printf("%-28s %9.0f%% %9.0f%%\n", "cells with >=2 contributors",
+              100.0 * solo.fraction_with_support(2),
+              100.0 * crowd.fraction_with_support(2));
+
+  // Between-user agreement where at least 3 users overlap.
+  double cv_sum = 0.0;
+  std::size_t cv_n = 0;
+  for (const auto& [key, c] : crowd.cells()) {
+    if (c.contributors >= 3) {
+      cv_sum += c.between_user_cv;
+      ++cv_n;
+    }
+  }
+  if (cv_n > 0) {
+    std::printf("%-28s %10s %9.2f\n", "between-user CV (>=3 users)", "-",
+                cv_sum / static_cast<double>(cv_n));
+  }
+  std::printf(
+      "\nThe crowd map covers far more cells and exposes where users "
+      "disagree (direction/device effects) — exactly the confidence signal "
+      "a 5G-aware app needs (paper §8.2).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Throughput-map explorer: builds the paper's envisioned "5G throughput
+// map" (Fig. 3c / Fig. 6) for one of the three study areas, renders it as
+// a text heatmap, and answers point queries — the operator-facing side of
+// Lumos5G.
+//
+// Usage: ./examples/throughput_map [airport|intersection|loop]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/throughput_map.h"
+#include "sim/areas.h"
+
+int main(int argc, char** argv) {
+  using namespace lumos;
+
+  const std::string which = argc > 1 ? argv[1] : "airport";
+  sim::Area area = [&] {
+    if (which == "intersection") return sim::make_intersection();
+    if (which == "loop") return sim::make_loop();
+    return sim::make_airport();
+  }();
+
+  std::printf("collecting campaign for '%s'...\n", area.env.name().c_str());
+  const int drive_runs = area.driving.empty() ? 0 : 2;
+  const data::Dataset ds =
+      sim::collect_area_dataset(area, /*walk_runs=*/6, drive_runs, 99);
+  std::printf("  %zu samples\n\n", ds.size());
+
+  const auto map = core::ThroughputMap::build(ds, 2);
+  std::printf("%s\n", map.render_ascii(70).c_str());
+  std::printf("legend: '#'>=1000  '+'>=700  'o'>=300  '.'>=60  '_'<60 Mbps\n\n");
+
+  std::printf("map statistics:\n");
+  std::printf("  measured ~2m cells:   %zu\n", map.cells().size());
+  std::printf("  5G coverage:          %.1f%% of seconds\n",
+              100.0 * map.coverage_5g());
+  std::printf("  cells above 700 Mbps: %.1f%%\n",
+              100.0 * map.fraction_above(700.0));
+  std::printf("  cells above 300 Mbps: %.1f%%\n",
+              100.0 * map.fraction_above(300.0));
+
+  // Point queries: what would an app at a measured spot expect?
+  std::printf("\nsample cell queries:\n");
+  int shown = 0;
+  for (const auto& s : ds.samples()) {
+    if (shown >= 5) break;
+    if (static_cast<std::size_t>(shown) * 700 + 100 >
+        static_cast<std::size_t>(&s - ds.samples().data())) {
+      continue;  // spread queries along the dataset
+    }
+    if (const auto* cell = map.lookup(s.pixel_x, s.pixel_y)) {
+      std::printf("  pixel (%lld, %lld): mean %.0f Mbps, CV %.2f, "
+                  "%zu samples, 5G %.0f%%\n",
+                  static_cast<long long>(s.pixel_x),
+                  static_cast<long long>(s.pixel_y), cell->mean_mbps,
+                  cell->cv, cell->count, 100.0 * cell->coverage_5g);
+      ++shown;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,354 @@
+#include "core/evaluate.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "data/split.h"
+#include "ml/harmonic.h"
+#include "ml/metrics.h"
+
+namespace lumos::core {
+namespace {
+
+using data::BuiltFeatures;
+using data::FeatureSetSpec;
+
+/// True when enough of the dataset carries panel geometry to train
+/// tower-based features. The paper's "Global" T rows use only the areas
+/// with surveyed panels (§6.2) — feature building drops the rest — so a
+/// sizeable minority with geometry is sufficient.
+bool dataset_supports_T(const data::Dataset& ds) {
+  if (ds.empty()) return false;
+  std::size_t with = 0;
+  for (const auto& s : ds.samples()) {
+    if (s.has_panel_geometry()) ++with;
+  }
+  return with * 10 >= ds.size() * 3;  // >= 30%
+}
+
+void fill_classification_metrics(std::span<const int> pred,
+                                 std::span<const int> truth,
+                                 EvalResult& out) {
+  const auto cm =
+      ml::confusion_matrix(pred, truth, data::kNumThroughputClasses);
+  out.weighted_f1 = ml::weighted_f1(cm);
+  out.low_recall = ml::recall_of(cm, 0);
+}
+
+std::vector<int> classify_predictions(std::span<const double> pred,
+                                      const data::FeatureConfig& fc) {
+  std::vector<int> cls;
+  cls.reserve(pred.size());
+  for (double p : pred) cls.push_back(data::throughput_class(p, fc));
+  return cls;
+}
+
+std::unique_ptr<ml::Regressor> make_regressor(ModelKind kind,
+                                              const ExperimentConfig& cfg) {
+  switch (kind) {
+    case ModelKind::kGdbt:
+      return std::make_unique<ml::GbdtRegressor>(cfg.gbdt);
+    case ModelKind::kKnn:
+      return std::make_unique<ml::KnnRegressor>(cfg.knn);
+    case ModelKind::kRandomForest:
+      return std::make_unique<ml::RandomForestRegressor>(cfg.forest);
+    case ModelKind::kKriging:
+      return std::make_unique<ml::OrdinaryKriging>(cfg.kriging);
+    default:
+      return nullptr;
+  }
+}
+
+std::unique_ptr<ml::Classifier> make_classifier(ModelKind kind,
+                                                const ExperimentConfig& cfg) {
+  switch (kind) {
+    case ModelKind::kGdbt:
+      return std::make_unique<ml::GbdtClassifier>(cfg.gbdt);
+    case ModelKind::kKnn:
+      return std::make_unique<ml::KnnClassifier>(cfg.knn);
+    case ModelKind::kRandomForest:
+      return std::make_unique<ml::RandomForestClassifier>(cfg.forest);
+    default:
+      return nullptr;  // Kriging classifies via thresholded regression
+  }
+}
+
+EvalResult eval_tabular(ModelKind kind, const BuiltFeatures& built,
+                        const data::SplitIndices& split,
+                        const ExperimentConfig& cfg) {
+  EvalResult out;
+  const auto x_train = data::subset(built.x, split.train);
+  const auto x_test = data::subset(built.x, split.test);
+  const auto y_train = data::subset(built.y_reg, split.train);
+  const auto y_test = data::subset(built.y_reg, split.test);
+  const auto c_train = data::subset(built.y_cls, split.train);
+  const auto c_test = data::subset(built.y_cls, split.test);
+  out.n_train = split.train.size();
+  out.n_test = split.test.size();
+
+  auto reg = make_regressor(kind, cfg);
+  reg->fit(x_train, y_train);
+  const auto pred = reg->predict_all(x_test);
+  out.mae = ml::mae(pred, y_test);
+  out.rmse = ml::rmse(pred, y_test);
+
+  if (auto cls = make_classifier(kind, cfg)) {
+    cls->fit(x_train, c_train, data::kNumThroughputClasses);
+    const auto cpred = cls->predict_all(x_test);
+    fill_classification_metrics(cpred, c_test, out);
+  } else {
+    const auto cpred = classify_predictions(pred, cfg.features);
+    fill_classification_metrics(cpred, c_test, out);
+  }
+  out.valid = true;
+  return out;
+}
+
+EvalResult eval_seq2seq(const data::Dataset& ds, const FeatureSetSpec& spec,
+                        const ExperimentConfig& cfg) {
+  EvalResult out;
+  data::SequenceConfig seq_cfg;
+  seq_cfg.seq_len = cfg.seq2seq.seq_len;
+  seq_cfg.out_len = cfg.seq2seq.out_len;
+  auto built = data::build_sequences(ds, spec, cfg.features, seq_cfg);
+  if (built.samples.size() < 50) return out;
+
+  // Recode the absolute pixel coordinates for the sequence model: on
+  // multi-area (Global) data the inter-area pixel offsets are ~1e4x the
+  // within-area variation, so a single affine standardization washes out
+  // all location signal for the LSTM (GDBT's axis splits are unaffected).
+  // Each area's pixels are centered and scaled to meters-ish units, plus
+  // a small per-area offset that preserves the area identity the absolute
+  // coordinates carried. Unsupervised, information-preserving.
+  if (spec.L) {
+    struct AreaCode {
+      double cx = 0.0, cy = 0.0;
+      std::size_t n = 0;
+      double offset = 0.0;
+    };
+    std::map<std::string, AreaCode> acc;
+    for (std::size_t i = 0; i < built.samples.size(); ++i) {
+      const auto& s = ds[built.source_index[i]];
+      auto& slot = acc[s.area];
+      slot.cx += static_cast<double>(s.pixel_x);
+      slot.cy += static_cast<double>(s.pixel_y);
+      ++slot.n;
+    }
+    double next_offset = 0.0;
+    for (auto& [area, slot] : acc) {
+      slot.cx /= static_cast<double>(slot.n);
+      slot.cy /= static_cast<double>(slot.n);
+      slot.offset = next_offset;
+      next_offset += 600.0;  // ~well-separated in scaled units
+    }
+    const std::size_t dim = built.input_dim;
+    for (std::size_t i = 0; i < built.samples.size(); ++i) {
+      const AreaCode& code = acc[ds[built.source_index[i]].area];
+      auto& x = built.samples[i].x;
+      for (std::size_t t = 0; t * dim < x.size(); ++t) {
+        x[t * dim + 0] = (x[t * dim + 0] - code.cx) + code.offset;
+        x[t * dim + 1] = (x[t * dim + 1] - code.cy) + code.offset;
+      }
+    }
+  }
+
+  // Bound the training-set size so the CPU-budgeted Seq2Seq stays fast on
+  // large (Global-scale) datasets: deterministic stride subsample.
+  constexpr std::size_t kMaxWindows = 6000;
+  if (built.samples.size() > kMaxWindows) {
+    std::vector<nn::SeqSample> sub;
+    std::vector<std::size_t> src;
+    sub.reserve(kMaxWindows);
+    const double step = static_cast<double>(built.samples.size()) /
+                        static_cast<double>(kMaxWindows);
+    for (std::size_t i = 0; i < kMaxWindows; ++i) {
+      const auto idx = static_cast<std::size_t>(i * step);
+      sub.push_back(std::move(built.samples[idx]));
+      src.push_back(built.source_index[idx]);
+    }
+    built.samples = std::move(sub);
+    built.source_index = std::move(src);
+  }
+
+  const auto split = data::train_test_split(
+      built.samples.size(), cfg.train_fraction, cfg.split_seed);
+  out.n_train = split.train.size();
+  out.n_test = split.test.size();
+
+  auto train = data::subset(built.samples, split.train);
+  auto test = data::subset(built.samples, split.test);
+
+  data::Standardizer scaler;
+  scaler.fit_sequences(train, built.input_dim);
+  scaler.transform_sequences(train);
+  scaler.transform_sequences(test);
+
+  std::vector<double> y_train_flat;
+  for (const auto& s : train) {
+    y_train_flat.insert(y_train_flat.end(), s.y.begin(), s.y.end());
+  }
+  data::TargetScaler target;
+  target.fit(y_train_flat);
+  // Keep raw test targets for metric computation before scaling.
+  std::vector<double> y_test;
+  y_test.reserve(test.size());
+  for (const auto& s : test) y_test.push_back(s.y.front());
+  target.transform_sequence_targets(train);
+
+  nn::Seq2SeqConfig net_cfg = cfg.seq2seq;
+  net_cfg.input_dim = built.input_dim;
+  nn::Seq2Seq net(net_cfg);
+  net.fit(train);
+
+  std::vector<double> pred;
+  pred.reserve(test.size());
+  for (const auto& s : test) {
+    pred.push_back(target.inverse(net.predict(s.x).front()));
+  }
+  out.mae = ml::mae(pred, y_test);
+  out.rmse = ml::rmse(pred, y_test);
+  const auto cpred = classify_predictions(pred, cfg.features);
+  std::vector<int> ctruth;
+  ctruth.reserve(y_test.size());
+  for (double v : y_test) {
+    ctruth.push_back(data::throughput_class(v, cfg.features));
+  }
+  fill_classification_metrics(cpred, ctruth, out);
+  out.valid = true;
+  return out;
+}
+
+EvalResult eval_harmonic(const data::Dataset& ds,
+                         const ExperimentConfig& cfg) {
+  EvalResult out;
+  const ml::HarmonicMeanPredictor hm(cfg.hm_window);
+  std::vector<double> pred, truth;
+  for (const auto& trace : ds.throughput_traces()) {
+    if (trace.size() < cfg.hm_window + 2) continue;
+    for (std::size_t i = cfg.hm_window; i < trace.size(); ++i) {
+      pred.push_back(
+          hm.predict_next(std::span<const double>(trace).subspan(0, i)));
+      truth.push_back(trace[i]);
+    }
+  }
+  if (pred.empty()) return out;
+  out.n_test = pred.size();
+  out.mae = ml::mae(pred, truth);
+  out.rmse = ml::rmse(pred, truth);
+  const auto cpred = classify_predictions(pred, cfg.features);
+  std::vector<int> ctruth;
+  ctruth.reserve(truth.size());
+  for (double v : truth) ctruth.push_back(data::throughput_class(v, cfg.features));
+  fill_classification_metrics(cpred, ctruth, out);
+  out.valid = true;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kGdbt: return "GDBT";
+    case ModelKind::kSeq2Seq: return "Seq2Seq";
+    case ModelKind::kKnn: return "KNN";
+    case ModelKind::kRandomForest: return "RF";
+    case ModelKind::kKriging: return "OK";
+    case ModelKind::kHarmonicMean: return "HM";
+  }
+  return "?";
+}
+
+EvalResult evaluate_model(ModelKind kind, const data::Dataset& ds,
+                          const data::FeatureSetSpec& spec,
+                          const ExperimentConfig& cfg) {
+  EvalResult out;
+  out.model = to_string(kind);
+  out.feature_group = spec.name();
+
+  if (kind == ModelKind::kHarmonicMean) {
+    EvalResult r = eval_harmonic(ds, cfg);
+    r.model = out.model;
+    r.feature_group = "history";
+    return r;
+  }
+  if (spec.T && !dataset_supports_T(ds)) return out;  // paper: Loop has no T
+  if (kind == ModelKind::kKriging &&
+      (spec.M || spec.T || spec.C || !spec.L)) {
+    return out;  // OK is a pure spatial interpolator (Table 9 footnote)
+  }
+  if (kind == ModelKind::kSeq2Seq) {
+    EvalResult r = eval_seq2seq(ds, spec, cfg);
+    r.model = out.model;
+    r.feature_group = out.feature_group;
+    return r;
+  }
+
+  const auto built = data::build_features(ds, spec, cfg.features);
+  if (built.x.rows() < 50) return out;
+  const auto split = data::train_test_split(built.x.rows(),
+                                            cfg.train_fraction, cfg.split_seed);
+  EvalResult r = eval_tabular(kind, built, split, cfg);
+  r.model = out.model;
+  r.feature_group = out.feature_group;
+  return r;
+}
+
+EvalResult evaluate_transfer(ModelKind kind, const data::Dataset& train_ds,
+                             const data::Dataset& test_ds,
+                             const data::FeatureSetSpec& spec,
+                             const ExperimentConfig& cfg) {
+  EvalResult out;
+  out.model = to_string(kind);
+  out.feature_group = spec.name();
+  const auto train = data::build_features(train_ds, spec, cfg.features);
+  const auto test = data::build_features(test_ds, spec, cfg.features);
+  if (train.x.rows() < 50 || test.x.rows() < 20) return out;
+  out.n_train = train.x.rows();
+  out.n_test = test.x.rows();
+
+  auto reg = make_regressor(kind, cfg);
+  if (!reg) return out;
+  reg->fit(train.x, train.y_reg);
+  const auto pred = reg->predict_all(test.x);
+  out.mae = ml::mae(pred, test.y_reg);
+  out.rmse = ml::rmse(pred, test.y_reg);
+
+  if (auto cls = make_classifier(kind, cfg)) {
+    cls->fit(train.x, train.y_cls, data::kNumThroughputClasses);
+    const auto cpred = cls->predict_all(test.x);
+    fill_classification_metrics(cpred, test.y_cls, out);
+  } else {
+    const auto cpred = classify_predictions(pred, cfg.features);
+    fill_classification_metrics(cpred, test.y_cls, out);
+  }
+  out.valid = true;
+  return out;
+}
+
+TracePredictions predict_test_trace(ModelKind kind, const data::Dataset& ds,
+                                    const data::FeatureSetSpec& spec,
+                                    const ExperimentConfig& cfg,
+                                    std::size_t max_points) {
+  TracePredictions out;
+  const auto built = data::build_features(ds, spec, cfg.features);
+  if (built.x.rows() < 50) return out;
+  const auto split = data::train_test_split(built.x.rows(),
+                                            cfg.train_fraction, cfg.split_seed);
+  const auto x_train = data::subset(built.x, split.train);
+  const auto y_train = data::subset(built.y_reg, split.train);
+
+  auto reg = make_regressor(kind, cfg);
+  if (!reg) return out;
+  reg->fit(x_train, y_train);
+  const std::size_t n = std::min(max_points, split.test.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = split.test[i];
+    out.actual.push_back(built.y_reg[idx]);
+    out.predicted.push_back(reg->predict(built.x.row(idx)));
+  }
+  return out;
+}
+
+}  // namespace lumos::core

@@ -1,0 +1,80 @@
+// The experiment harness behind Tables 7, 8 and 9: train one model family
+// on one feature-group combination over one dataset, evaluate regression
+// (MAE/RMSE) and classification (weighted-average F1, low-class recall)
+// on a random 70/30 split (paper §6.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/features.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/knn.h"
+#include "ml/kriging.h"
+#include "nn/seq2seq.h"
+
+namespace lumos::core {
+
+enum class ModelKind {
+  kGdbt,
+  kSeq2Seq,
+  kKnn,
+  kRandomForest,
+  kKriging,       ///< Ordinary Kriging; L group only
+  kHarmonicMean,  ///< history-only; ignores the feature spec
+};
+
+const char* to_string(ModelKind kind) noexcept;
+
+struct ExperimentConfig {
+  data::FeatureConfig features{};
+  double train_fraction = 0.7;
+  std::uint64_t split_seed = 1234;
+
+  ml::GbdtConfig gbdt{};
+  ml::ForestConfig forest{};
+  ml::KnnConfig knn{};
+  ml::KrigingConfig kriging{};
+  nn::Seq2SeqConfig seq2seq{};  ///< input_dim/seq_len filled internally
+  std::size_t hm_window = 5;
+};
+
+struct EvalResult {
+  std::string model;
+  std::string feature_group;
+  double mae = 0.0;
+  double rmse = 0.0;
+  double weighted_f1 = 0.0;
+  double low_recall = 0.0;
+  std::size_t n_train = 0;
+  std::size_t n_test = 0;
+  bool valid = false;  ///< false when the combination is not applicable
+};
+
+/// Runs the full train/eval pipeline for one (model, feature group) cell.
+/// Returns valid=false for inapplicable combinations (e.g. Kriging beyond
+/// group L, or T groups on a dataset without panel geometry).
+EvalResult evaluate_model(ModelKind kind, const data::Dataset& ds,
+                          const data::FeatureSetSpec& spec,
+                          const ExperimentConfig& cfg = {});
+
+/// Transferability (paper §6.2): train on `train_ds`, test on `test_ds`
+/// (e.g. North-panel vs South-panel samples), classification metrics only.
+EvalResult evaluate_transfer(ModelKind kind, const data::Dataset& train_ds,
+                             const data::Dataset& test_ds,
+                             const data::FeatureSetSpec& spec,
+                             const ExperimentConfig& cfg = {});
+
+/// Paired regression predictions on the test split (used by Fig. 16).
+struct TracePredictions {
+  std::vector<double> actual;
+  std::vector<double> predicted;
+};
+TracePredictions predict_test_trace(ModelKind kind, const data::Dataset& ds,
+                                    const data::FeatureSetSpec& spec,
+                                    const ExperimentConfig& cfg,
+                                    std::size_t max_points = 200);
+
+}  // namespace lumos::core

@@ -1,0 +1,41 @@
+#include "core/lumos5g.h"
+
+#include <stdexcept>
+
+namespace lumos::core {
+
+Lumos5G::Lumos5G(Lumos5GConfig cfg)
+    : cfg_(std::move(cfg)),
+      regressor_(cfg_.gbdt),
+      classifier_(cfg_.gbdt),
+      feature_names_(data::feature_names(cfg_.feature_spec, cfg_.features)) {}
+
+void Lumos5G::train(const data::Dataset& ds) {
+  const auto built =
+      data::build_features(ds, cfg_.feature_spec, cfg_.features);
+  if (built.x.rows() < 10) {
+    throw std::runtime_error(
+        "Lumos5G::train: dataset too small for the configured features");
+  }
+  regressor_.fit(built.x, built.y_reg);
+  classifier_.fit(built.x, built.y_cls, data::kNumThroughputClasses);
+  trained_ = true;
+}
+
+std::optional<Prediction> Lumos5G::predict(
+    std::span<const data::SampleRecord> recent) const {
+  if (!trained_) return std::nullopt;
+  const auto row = data::feature_row_from_window(recent, cfg_.feature_spec,
+                                                 cfg_.features);
+  if (!row) return std::nullopt;
+  Prediction p;
+  p.throughput_mbps = regressor_.predict(*row);
+  p.throughput_class = classifier_.predict(*row);
+  return p;
+}
+
+std::vector<double> Lumos5G::feature_importance() const {
+  return regressor_.feature_importance();
+}
+
+}  // namespace lumos::core

@@ -1,0 +1,62 @@
+// Lumos5G — the user-facing prediction facade (paper §2.3, Fig. 4).
+// A 5G-aware app trains (or downloads) a predictor for its area and
+// feature-group combination, then queries it online with the UE's recent
+// context window to drive decisions like initial-bitrate selection or
+// bitrate adaptation.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/features.h"
+#include "ml/gbdt.h"
+
+namespace lumos::core {
+
+struct Lumos5GConfig {
+  data::FeatureSetSpec feature_spec = data::FeatureSetSpec::parse("L+M");
+  data::FeatureConfig features{};
+  ml::GbdtConfig gbdt{};
+};
+
+/// Prediction made for one context window.
+struct Prediction {
+  double throughput_mbps = 0.0;
+  int throughput_class = 0;  ///< 0 low / 1 medium / 2 high (paper §5.2)
+};
+
+class Lumos5G {
+ public:
+  explicit Lumos5G(Lumos5GConfig cfg = {});
+
+  /// Trains the GDBT regressor + classifier pair on a (cleaned) dataset.
+  void train(const data::Dataset& ds);
+
+  /// Predicts the next-slot throughput from the UE's recent samples (the
+  /// last element is "now"). Returns nullopt when the window cannot
+  /// produce the configured features.
+  std::optional<Prediction> predict(
+      std::span<const data::SampleRecord> recent) const;
+
+  bool trained() const noexcept { return trained_; }
+  const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+
+  /// GDBT global gain importance, aligned with feature_names() (Fig. 22).
+  std::vector<double> feature_importance() const;
+
+  const Lumos5GConfig& config() const noexcept { return cfg_; }
+
+ private:
+  Lumos5GConfig cfg_;
+  ml::GbdtRegressor regressor_;
+  ml::GbdtClassifier classifier_;
+  std::vector<std::string> feature_names_;
+  bool trained_ = false;
+};
+
+}  // namespace lumos::core

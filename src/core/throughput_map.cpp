@@ -1,0 +1,124 @@
+#include "core/throughput_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumos::core {
+namespace {
+
+std::pair<std::int64_t, std::int64_t> cell_key(std::int64_t px,
+                                               std::int64_t py,
+                                               std::int64_t cell_px) {
+  const auto fx =
+      px >= 0 ? px / cell_px : (px - cell_px + 1) / cell_px;
+  const auto fy =
+      py >= 0 ? py / cell_px : (py - cell_px + 1) / cell_px;
+  return {fx, fy};
+}
+
+char glyph(double mean_mbps) noexcept {
+  if (mean_mbps >= 1000.0) return '#';
+  if (mean_mbps >= 700.0) return '+';
+  if (mean_mbps >= 300.0) return 'o';
+  if (mean_mbps >= 60.0) return '.';
+  return '_';
+}
+
+}  // namespace
+
+ThroughputMap ThroughputMap::build(const data::Dataset& ds,
+                                   std::int64_t cell_px) {
+  ThroughputMap map;
+  map.cell_px_ = std::max<std::int64_t>(1, cell_px);
+
+  struct Acc {
+    std::size_t n = 0;
+    double sum = 0.0;
+    double sumsq = 0.0;
+    std::size_t n5g = 0;
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, Acc> acc;
+  for (const auto& s : ds.samples()) {
+    auto& a = acc[cell_key(s.pixel_x, s.pixel_y, map.cell_px_)];
+    ++a.n;
+    a.sum += s.throughput_mbps;
+    a.sumsq += s.throughput_mbps * s.throughput_mbps;
+    if (s.radio_type == data::RadioType::kNrMmWave) ++a.n5g;
+    ++map.total_samples_;
+    if (s.radio_type == data::RadioType::kNrMmWave) ++map.samples_5g_;
+  }
+  for (const auto& [key, a] : acc) {
+    CellStats c;
+    c.count = a.n;
+    c.mean_mbps = a.sum / static_cast<double>(a.n);
+    const double var =
+        std::max(0.0, a.sumsq / static_cast<double>(a.n) -
+                          c.mean_mbps * c.mean_mbps);
+    c.stddev_mbps = std::sqrt(var);
+    c.cv = c.mean_mbps > 0.0 ? c.stddev_mbps / c.mean_mbps : 0.0;
+    c.coverage_5g = static_cast<double>(a.n5g) / static_cast<double>(a.n);
+    map.cells_[key] = c;
+  }
+  return map;
+}
+
+const CellStats* ThroughputMap::lookup(std::int64_t px,
+                                       std::int64_t py) const noexcept {
+  const auto it = cells_.find(cell_key(px, py, cell_px_));
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+double ThroughputMap::fraction_above(double threshold_mbps) const noexcept {
+  if (cells_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& [key, c] : cells_) {
+    if (c.mean_mbps > threshold_mbps) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(cells_.size());
+}
+
+double ThroughputMap::coverage_5g() const noexcept {
+  if (total_samples_ == 0) return 0.0;
+  return static_cast<double>(samples_5g_) /
+         static_cast<double>(total_samples_);
+}
+
+std::string ThroughputMap::render_ascii(int max_dim) const {
+  if (cells_.empty()) return "(empty map)\n";
+  std::int64_t min_x = cells_.begin()->first.first, max_x = min_x;
+  std::int64_t min_y = cells_.begin()->first.second, max_y = min_y;
+  for (const auto& [key, c] : cells_) {
+    min_x = std::min(min_x, key.first);
+    max_x = std::max(max_x, key.first);
+    min_y = std::min(min_y, key.second);
+    max_y = std::max(max_y, key.second);
+  }
+  // Down-sample if the extent exceeds max_dim.
+  const std::int64_t w = max_x - min_x + 1;
+  const std::int64_t h = max_y - min_y + 1;
+  const std::int64_t step =
+      std::max<std::int64_t>(1, std::max(w, h) / std::max(1, max_dim));
+
+  std::string out;
+  for (std::int64_t y = min_y; y <= max_y; y += step) {
+    for (std::int64_t x = min_x; x <= max_x; x += step) {
+      // Aggregate the step x step block.
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::int64_t dy = 0; dy < step; ++dy) {
+        for (std::int64_t dx = 0; dx < step; ++dx) {
+          const auto it = cells_.find({x + dx, y + dy});
+          if (it != cells_.end()) {
+            sum += it->second.mean_mbps * static_cast<double>(it->second.count);
+            n += it->second.count;
+          }
+        }
+      }
+      out += n == 0 ? ' ' : glyph(sum / static_cast<double>(n));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lumos::core

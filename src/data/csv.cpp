@@ -1,0 +1,111 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lumos::data {
+namespace {
+
+constexpr const char* kHeader =
+    "area,trajectory_id,run_id,timestamp_s,latitude,longitude,"
+    "gps_accuracy_m,activity,moving_speed_mps,compass_deg,compass_accuracy,"
+    "throughput_mbps,radio_type,cell_id,lte_rsrp,lte_rsrq,lte_rssi,"
+    "nr_ssrsrp,nr_ssrsrq,nr_ssrssi,horizontal_handoff,vertical_handoff,"
+    "ue_panel_distance_m,theta_p_deg,theta_m_deg,pixel_x,pixel_y";
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  return out;
+}
+
+double parse_double(const std::string& s) {
+  if (s.empty() || s == "nan") return std::nan("");
+  return std::stod(s);
+}
+
+}  // namespace
+
+void write_csv(const Dataset& ds, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_csv: cannot open " + path);
+  f << kHeader << '\n';
+  f.precision(10);
+  for (const auto& s : ds.samples()) {
+    f << s.area << ',' << s.trajectory_id << ',' << s.run_id << ','
+      << s.timestamp_s << ',' << s.latitude << ',' << s.longitude << ','
+      << s.gps_accuracy_m << ',' << static_cast<int>(s.detected_activity)
+      << ',' << s.moving_speed_mps << ',' << s.compass_deg << ','
+      << s.compass_accuracy << ',' << s.throughput_mbps << ','
+      << static_cast<int>(s.radio_type) << ',' << s.cell_id << ','
+      << s.lte_rsrp << ',' << s.lte_rsrq << ',' << s.lte_rssi << ','
+      << s.nr_ssrsrp << ',' << s.nr_ssrsrq << ',' << s.nr_ssrssi << ','
+      << (s.horizontal_handoff ? 1 : 0) << ',' << (s.vertical_handoff ? 1 : 0)
+      << ',';
+    if (std::isnan(s.ue_panel_distance_m)) {
+      f << "nan,nan,nan,";
+    } else {
+      f << s.ue_panel_distance_m << ',' << s.theta_p_deg << ','
+        << s.theta_m_deg << ',';
+    }
+    f << s.pixel_x << ',' << s.pixel_y << '\n';
+  }
+  if (!f) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+Dataset read_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_csv: cannot open " + path);
+  std::string line;
+  if (!std::getline(f, line)) {
+    throw std::runtime_error("read_csv: empty file " + path);
+  }
+  Dataset ds;
+  std::size_t lineno = 1;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto v = split_line(line);
+    if (v.size() != 27) {
+      throw std::runtime_error("read_csv: bad field count at line " +
+                               std::to_string(lineno));
+    }
+    SampleRecord s;
+    s.area = v[0];
+    s.trajectory_id = std::stoi(v[1]);
+    s.run_id = std::stoi(v[2]);
+    s.timestamp_s = parse_double(v[3]);
+    s.latitude = parse_double(v[4]);
+    s.longitude = parse_double(v[5]);
+    s.gps_accuracy_m = parse_double(v[6]);
+    s.detected_activity = static_cast<Activity>(std::stoi(v[7]));
+    s.moving_speed_mps = parse_double(v[8]);
+    s.compass_deg = parse_double(v[9]);
+    s.compass_accuracy = parse_double(v[10]);
+    s.throughput_mbps = parse_double(v[11]);
+    s.radio_type = static_cast<RadioType>(std::stoi(v[12]));
+    s.cell_id = std::stoi(v[13]);
+    s.lte_rsrp = parse_double(v[14]);
+    s.lte_rsrq = parse_double(v[15]);
+    s.lte_rssi = parse_double(v[16]);
+    s.nr_ssrsrp = parse_double(v[17]);
+    s.nr_ssrsrq = parse_double(v[18]);
+    s.nr_ssrssi = parse_double(v[19]);
+    s.horizontal_handoff = v[20] == "1";
+    s.vertical_handoff = v[21] == "1";
+    s.ue_panel_distance_m = parse_double(v[22]);
+    s.theta_p_deg = parse_double(v[23]);
+    s.theta_m_deg = parse_double(v[24]);
+    s.pixel_x = std::stoll(v[25]);
+    s.pixel_y = std::stoll(v[26]);
+    ds.append(std::move(s));
+  }
+  return ds;
+}
+
+}  // namespace lumos::data

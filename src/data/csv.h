@@ -1,0 +1,19 @@
+// CSV persistence for datasets — the on-disk interchange format matching
+// the public Lumos5G dataset release (one row per second, Table 1 fields).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace lumos::data {
+
+/// Writes the dataset as CSV with a header row. Throws std::runtime_error
+/// on I/O failure.
+void write_csv(const Dataset& ds, const std::string& path);
+
+/// Reads a dataset written by write_csv. Throws std::runtime_error on I/O
+/// or parse failure.
+Dataset read_csv(const std::string& path);
+
+}  // namespace lumos::data

@@ -1,0 +1,109 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace lumos::data {
+
+std::size_t Dataset::clean(const CleaningConfig& cfg) {
+  const std::size_t before = samples_.size();
+
+  // Stable order: by (area, trajectory, run, time).
+  std::stable_sort(samples_.begin(), samples_.end(),
+                   [](const SampleRecord& a, const SampleRecord& b) {
+                     return std::tie(a.area, a.trajectory_id, a.run_id,
+                                     a.timestamp_s) <
+                            std::tie(b.area, b.trajectory_id, b.run_id,
+                                     b.timestamp_s);
+                   });
+
+  // Rule (2): discard whole runs whose mean GPS error exceeds the budget.
+  // Rule (3): drop the warm-up buffer at the start of each run.
+  std::vector<SampleRecord> kept;
+  kept.reserve(samples_.size());
+  std::size_t i = 0;
+  while (i < samples_.size()) {
+    std::size_t j = i;
+    double err_sum = 0.0;
+    while (j < samples_.size() && samples_[j].area == samples_[i].area &&
+           samples_[j].trajectory_id == samples_[i].trajectory_id &&
+           samples_[j].run_id == samples_[i].run_id) {
+      err_sum += samples_[j].gps_accuracy_m;
+      ++j;
+    }
+    const double mean_err = err_sum / static_cast<double>(j - i);
+    if (mean_err <= cfg.max_gps_error_m) {
+      const double t0 = samples_[i].timestamp_s;
+      for (std::size_t k = i; k < j; ++k) {
+        if (samples_[k].timestamp_s - t0 >= cfg.buffer_period_s) {
+          kept.push_back(samples_[k]);
+        }
+      }
+    }
+    i = j;
+  }
+  samples_ = std::move(kept);
+
+  // Rule (4): pixelize to the zoom grid.
+  for (auto& s : samples_) {
+    const geo::PixelCoord px =
+        geo::pixelize({s.latitude, s.longitude}, cfg.pixel_zoom);
+    s.pixel_x = px.x;
+    s.pixel_y = px.y;
+  }
+  return before - samples_.size();
+}
+
+Dataset Dataset::filter(
+    const std::function<bool(const SampleRecord&)>& pred) const {
+  Dataset out;
+  for (const auto& s : samples_) {
+    if (pred(s)) out.append(s);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> Dataset::runs() const {
+  std::map<std::tuple<std::string, int, int>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const auto& s = samples_[i];
+    groups[{s.area, s.trajectory_id, s.run_id}].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [key, idx] : groups) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return samples_[a].timestamp_s < samples_[b].timestamp_s;
+    });
+    out.push_back(std::move(idx));
+  }
+  return out;
+}
+
+std::map<std::pair<std::int64_t, std::int64_t>, std::vector<double>>
+Dataset::throughput_by_grid(std::int64_t cell_px) const {
+  std::map<std::pair<std::int64_t, std::int64_t>, std::vector<double>> grid;
+  if (cell_px <= 0) cell_px = 1;
+  for (const auto& s : samples_) {
+    // floor division keeps negative pixels consistent
+    const auto fx = s.pixel_x >= 0 ? s.pixel_x / cell_px
+                                   : (s.pixel_x - cell_px + 1) / cell_px;
+    const auto fy = s.pixel_y >= 0 ? s.pixel_y / cell_px
+                                   : (s.pixel_y - cell_px + 1) / cell_px;
+    grid[{fx, fy}].push_back(s.throughput_mbps);
+  }
+  return grid;
+}
+
+std::vector<std::vector<double>> Dataset::throughput_traces() const {
+  std::vector<std::vector<double>> traces;
+  for (const auto& run : runs()) {
+    std::vector<double> t;
+    t.reserve(run.size());
+    for (std::size_t i : run) t.push_back(samples_[i].throughput_mbps);
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+}  // namespace lumos::data

@@ -1,0 +1,322 @@
+#include "data/features.h"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/coordinates.h"
+
+namespace lumos::data {
+
+FeatureSetSpec FeatureSetSpec::parse(const std::string& spec) {
+  FeatureSetSpec s;
+  for (char raw : spec) {
+    const char c = static_cast<char>(std::toupper(static_cast<unsigned char>(raw)));
+    switch (c) {
+      case 'L': s.L = true; break;
+      case 'M': s.M = true; break;
+      case 'T': s.T = true; break;
+      case 'C': s.C = true; break;
+      case '+':
+      case ' ': break;
+      default:
+        throw std::invalid_argument("FeatureSetSpec::parse: bad group '" +
+                                    std::string(1, raw) + "'");
+    }
+  }
+  if (!s.L && !s.M && !s.T && !s.C) {
+    throw std::invalid_argument("FeatureSetSpec::parse: empty spec");
+  }
+  return s;
+}
+
+std::string FeatureSetSpec::name() const {
+  std::string out;
+  const auto add = [&out](const char* g) {
+    if (!out.empty()) out += '+';
+    out += g;
+  };
+  if (L) add("L");
+  if (T) add("T");
+  if (M) add("M");
+  if (C) add("C");
+  return out;
+}
+
+int throughput_class(double mbps, const FeatureConfig& cfg) noexcept {
+  if (mbps < cfg.low_mbps) return 0;
+  if (mbps < cfg.high_mbps) return 1;
+  return 2;
+}
+
+std::vector<std::string> feature_names(const FeatureSetSpec& spec,
+                                       const FeatureConfig& cfg) {
+  std::vector<std::string> names;
+  if (spec.L) {
+    names.emplace_back("pixel_x");
+    names.emplace_back("pixel_y");
+  }
+  if (spec.T) {
+    names.emplace_back("ue_panel_distance_m");
+    names.emplace_back("theta_p_deg");
+    names.emplace_back("theta_m_deg");
+  }
+  if (spec.M) {
+    names.emplace_back("moving_speed_mps");
+    // Compass is included only when tower geometry is absent: the paper's
+    // T+M combination replaces raw compass with the panel-relative angles
+    // (Table 6).
+    if (!spec.T) {
+      names.emplace_back("compass_sin");
+      names.emplace_back("compass_cos");
+    }
+  }
+  if (spec.C) {
+    for (int lag = 0; lag < cfg.throughput_lags; ++lag) {
+      names.push_back("tput_lag_" + std::to_string(lag));
+    }
+    names.emplace_back("radio_type");
+    names.emplace_back("lte_rsrp");
+    names.emplace_back("nr_ssrsrp");
+    names.emplace_back("horizontal_handoff");
+    names.emplace_back("vertical_handoff");
+  }
+  return names;
+}
+
+namespace {
+
+/// Writes the feature vector for position `i` of a record sequence into
+/// `row`. `rec_at(i - lag)` must be valid for all configured lags.
+template <typename GetRecord>
+void fill_row_impl(GetRecord&& rec_at, std::size_t i,
+                   const FeatureSetSpec& spec, const FeatureConfig& cfg,
+                   std::vector<double>& row) {
+  row.clear();
+  const SampleRecord& s = rec_at(i);
+  if (spec.L) {
+    row.push_back(static_cast<double>(s.pixel_x));
+    row.push_back(static_cast<double>(s.pixel_y));
+  }
+  if (spec.T) {
+    row.push_back(s.ue_panel_distance_m);
+    row.push_back(s.theta_p_deg);
+    row.push_back(s.theta_m_deg);
+  }
+  if (spec.M) {
+    row.push_back(s.moving_speed_mps);
+    if (!spec.T) {
+      const double rad = geo::deg2rad(s.compass_deg);
+      row.push_back(std::sin(rad));
+      row.push_back(std::cos(rad));
+    }
+  }
+  if (spec.C) {
+    for (int lag = 0; lag < cfg.throughput_lags; ++lag) {
+      row.push_back(rec_at(i - static_cast<std::size_t>(lag)).throughput_mbps);
+    }
+    row.push_back(s.radio_type == RadioType::kNrMmWave ? 1.0 : 0.0);
+    row.push_back(s.lte_rsrp);
+    row.push_back(s.nr_ssrsrp);
+    row.push_back(s.horizontal_handoff ? 1.0 : 0.0);
+    row.push_back(s.vertical_handoff ? 1.0 : 0.0);
+  }
+}
+
+/// Convenience wrapper over a run of dataset indices.
+void fill_row(const Dataset& ds, const std::vector<std::size_t>& run,
+              std::size_t i, const FeatureSetSpec& spec,
+              const FeatureConfig& cfg, std::vector<double>& row) {
+  fill_row_impl(
+      [&](std::size_t j) -> const SampleRecord& { return ds[run[j]]; }, i,
+      spec, cfg, row);
+}
+
+std::size_t min_history(const FeatureSetSpec& spec, const FeatureConfig& cfg) {
+  return spec.C ? static_cast<std::size_t>(cfg.throughput_lags - 1) : 0;
+}
+
+}  // namespace
+
+BuiltFeatures build_features(const Dataset& ds, const FeatureSetSpec& spec,
+                             const FeatureConfig& cfg) {
+  if (cfg.throughput_lags < 1) {
+    throw std::invalid_argument("build_features: throughput_lags must be >= 1");
+  }
+  if (cfg.horizon < 1) {
+    throw std::invalid_argument("build_features: horizon must be >= 1");
+  }
+  BuiltFeatures out;
+  out.feature_names = feature_names(spec, cfg);
+
+  const std::size_t hist = min_history(spec, cfg);
+  const auto horizon = static_cast<std::size_t>(cfg.horizon);
+  std::vector<double> row;
+  for (const auto& run : ds.runs()) {
+    if (run.size() <= hist + horizon) continue;
+    for (std::size_t i = hist; i + horizon < run.size(); ++i) {
+      const SampleRecord& s = ds[run[i]];
+      if (spec.T && !s.has_panel_geometry()) continue;
+      fill_row(ds, run, i, spec, cfg, row);
+      out.x.push_row(row);
+      const double target = ds[run[i + horizon]].throughput_mbps;
+      out.y_reg.push_back(target);
+      out.y_cls.push_back(throughput_class(target, cfg));
+      out.source_index.push_back(run[i]);
+    }
+  }
+  return out;
+}
+
+BuiltSequences build_sequences(const Dataset& ds, const FeatureSetSpec& spec,
+                               const FeatureConfig& cfg,
+                               const SequenceConfig& seq) {
+  if (seq.seq_len == 0 || seq.out_len == 0) {
+    throw std::invalid_argument("build_sequences: zero window size");
+  }
+  BuiltSequences out;
+  out.input_dim = feature_names(spec, cfg).size();
+
+  const std::size_t hist = min_history(spec, cfg);
+  std::vector<double> row;
+  for (const auto& run : ds.runs()) {
+    if (run.size() < hist + seq.seq_len + seq.out_len) continue;
+    // Window end index e: window covers [e - seq_len + 1, e];
+    // targets cover (e, e + out_len].
+    for (std::size_t e = hist + seq.seq_len - 1; e + seq.out_len < run.size();
+         ++e) {
+      bool usable = true;
+      if (spec.T) {
+        for (std::size_t t = e + 1 - seq.seq_len; t <= e && usable; ++t) {
+          usable = ds[run[t]].has_panel_geometry();
+        }
+      }
+      if (!usable) continue;
+      nn::SeqSample sample;
+      sample.x.reserve(seq.seq_len * out.input_dim);
+      for (std::size_t t = e + 1 - seq.seq_len; t <= e; ++t) {
+        fill_row(ds, run, t, spec, cfg, row);
+        sample.x.insert(sample.x.end(), row.begin(), row.end());
+      }
+      sample.y.reserve(seq.out_len);
+      for (std::size_t k = 1; k <= seq.out_len; ++k) {
+        sample.y.push_back(ds[run[e + k]].throughput_mbps);
+      }
+      out.samples.push_back(std::move(sample));
+      out.source_index.push_back(run[e]);
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> feature_row_from_window(
+    std::span<const SampleRecord> window, const FeatureSetSpec& spec,
+    const FeatureConfig& cfg) {
+  const std::size_t hist = spec.C
+                               ? static_cast<std::size_t>(cfg.throughput_lags)
+                               : 1;
+  if (window.size() < hist) return std::nullopt;
+  const std::size_t i = window.size() - 1;
+  if (spec.T && !window[i].has_panel_geometry()) return std::nullopt;
+  std::vector<double> row;
+  fill_row_impl(
+      [&](std::size_t j) -> const SampleRecord& { return window[j]; }, i,
+      spec, cfg, row);
+  return row;
+}
+
+void Standardizer::fit(const ml::FeatureMatrix& x) {
+  const std::size_t d = x.cols(), n = x.rows();
+  mean_.assign(d, 0.0);
+  sd_.assign(d, 1.0);
+  if (n == 0) return;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += x.at(r, c);
+  }
+  for (auto& m : mean_) m /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dv = x.at(r, c) - mean_[c];
+      var[c] += dv * dv;
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    const double s = std::sqrt(var[c] / static_cast<double>(n));
+    sd_[c] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+void Standardizer::fit_sequences(const std::vector<nn::SeqSample>& samples,
+                                 std::size_t input_dim) {
+  mean_.assign(input_dim, 0.0);
+  sd_.assign(input_dim, 1.0);
+  std::size_t count = 0;
+  for (const auto& s : samples) count += s.x.size() / input_dim;
+  if (count == 0) return;
+  for (const auto& s : samples) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) mean_[i % input_dim] += s.x[i];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(count);
+  std::vector<double> var(input_dim, 0.0);
+  for (const auto& s : samples) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double dv = s.x[i] - mean_[i % input_dim];
+      var[i % input_dim] += dv * dv;
+    }
+  }
+  for (std::size_t c = 0; c < input_dim; ++c) {
+    const double sd = std::sqrt(var[c] / static_cast<double>(count));
+    sd_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+void Standardizer::transform(ml::FeatureMatrix& x) const {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      row[c] = (row[c] - mean_[c]) / sd_[c];
+    }
+  }
+}
+
+void Standardizer::transform_sequences(
+    std::vector<nn::SeqSample>& samples) const {
+  const std::size_t d = mean_.size();
+  for (auto& s : samples) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const std::size_t c = i % d;
+      s.x[i] = (s.x[i] - mean_[c]) / sd_[c];
+    }
+  }
+}
+
+std::vector<double> Standardizer::transform_row(
+    std::span<const double> row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) / sd_[c];
+  }
+  return out;
+}
+
+void TargetScaler::fit(std::span<const double> y) {
+  mean_ = 0.0;
+  sd_ = 1.0;
+  if (y.empty()) return;
+  for (double v : y) mean_ += v;
+  mean_ /= static_cast<double>(y.size());
+  double var = 0.0;
+  for (double v : y) var += (v - mean_) * (v - mean_);
+  const double sd = std::sqrt(var / static_cast<double>(y.size()));
+  if (sd > 1e-12) sd_ = sd;
+}
+
+void TargetScaler::transform_sequence_targets(
+    std::vector<nn::SeqSample>& samples) const {
+  for (auto& s : samples) {
+    for (auto& v : s.y) v = transform(v);
+  }
+}
+
+}  // namespace lumos::data

@@ -1,0 +1,90 @@
+// The per-second measurement record produced by the (simulated) 5G
+// monitoring tool — one row per second, mirroring paper Table 1.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lumos::data {
+
+/// Radio technology the UE is attached to (paper: "radio type").
+enum class RadioType : std::uint8_t {
+  kNrMmWave = 0,  ///< 5G NR mmWave
+  kLte = 1,       ///< 4G LTE fallback
+};
+
+/// Google Activity-Recognition style transport mode.
+enum class Activity : std::uint8_t {
+  kStill = 0,
+  kWalking = 1,
+  kDriving = 2,
+};
+
+inline const char* to_string(RadioType r) noexcept {
+  return r == RadioType::kNrMmWave ? "5G-NR" : "LTE";
+}
+
+inline const char* to_string(Activity a) noexcept {
+  switch (a) {
+    case Activity::kStill: return "still";
+    case Activity::kWalking: return "walking";
+    case Activity::kDriving: return "driving";
+  }
+  return "?";
+}
+
+/// One logged second. Fields in the first block come from (simulated)
+/// Android APIs; the second block is post-processed or exogenous
+/// information (paper Table 1).
+struct SampleRecord {
+  // --- identity / bookkeeping ---
+  std::string area;        ///< "intersection" | "airport" | "loop"
+  int trajectory_id = 0;   ///< which trajectory of the area
+  int run_id = 0;          ///< which repeated pass over that trajectory
+  double timestamp_s = 0;  ///< seconds since run start
+
+  // --- raw values from Android-like APIs ---
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double gps_accuracy_m = 0.0;  ///< reported location error estimate
+  Activity detected_activity = Activity::kStill;
+  double moving_speed_mps = 0.0;
+  double compass_deg = 0.0;      ///< direction of travel w.r.t. North
+  double compass_accuracy = 0.0;
+
+  // --- throughput ground truth (iPerf-style bulk download) ---
+  double throughput_mbps = 0.0;
+
+  // --- parsed from ServiceState / SignalStrength ---
+  RadioType radio_type = RadioType::kNrMmWave;
+  int cell_id = -1;  ///< serving panel id (5G) or LTE cell id
+  double lte_rsrp = 0.0;
+  double lte_rsrq = 0.0;
+  double lte_rssi = 0.0;
+  double nr_ssrsrp = 0.0;
+  double nr_ssrsrq = 0.0;
+  double nr_ssrssi = 0.0;
+  bool horizontal_handoff = false;  ///< 5G panel changed this second
+  bool vertical_handoff = false;    ///< radio type changed this second
+
+  // --- post-processed tower geometry (NaN when panel location unknown) ---
+  double ue_panel_distance_m = nan_value();
+  double theta_p_deg = nan_value();  ///< UE-panel positional angle
+  double theta_m_deg = nan_value();  ///< UE-panel mobility angle
+
+  // --- pixelized geolocation (zoom 17), filled during cleaning ---
+  std::int64_t pixel_x = 0;
+  std::int64_t pixel_y = 0;
+
+  static constexpr double nan_value() noexcept {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  bool has_panel_geometry() const noexcept {
+    return !std::isnan(ue_panel_distance_m);
+  }
+};
+
+}  // namespace lumos::data

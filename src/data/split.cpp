@@ -1,0 +1,33 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace lumos::data {
+
+SplitIndices train_test_split(std::size_t n, double train_fraction,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  auto perm = rng.permutation(n);
+  const auto k = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(n));
+  SplitIndices out;
+  out.train.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(k));
+  out.test.assign(perm.begin() + static_cast<std::ptrdiff_t>(k), perm.end());
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+ml::FeatureMatrix subset(const ml::FeatureMatrix& x,
+                         std::span<const std::size_t> idx) {
+  ml::FeatureMatrix out(idx.size(), x.cols());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto src = x.row(idx[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+}  // namespace lumos::data

@@ -1,0 +1,35 @@
+// Train/test splitting utilities (paper §6.1: random 70/30 split).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/types.h"
+#include "nn/seq2seq.h"
+
+namespace lumos::data {
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Random split of [0, n) with `train_fraction` going to train.
+SplitIndices train_test_split(std::size_t n, double train_fraction,
+                              std::uint64_t seed);
+
+/// Row subset of a feature matrix.
+ml::FeatureMatrix subset(const ml::FeatureMatrix& x,
+                         std::span<const std::size_t> idx);
+
+template <typename T>
+std::vector<T> subset(const std::vector<T>& v,
+                      std::span<const std::size_t> idx) {
+  std::vector<T> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) out.push_back(v[i]);
+  return out;
+}
+
+}  // namespace lumos::data

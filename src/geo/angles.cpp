@@ -1,0 +1,40 @@
+#include "geo/angles.h"
+
+#include <cmath>
+
+namespace lumos::geo {
+
+double norm360(double deg) noexcept {
+  double r = std::fmod(deg, 360.0);
+  if (r < 0.0) r += 360.0;
+  return r;
+}
+
+double norm180(double deg) noexcept {
+  double r = norm360(deg);
+  if (r > 180.0) r -= 360.0;
+  return r;
+}
+
+double angular_distance(double a_deg, double b_deg) noexcept {
+  return std::fabs(norm180(a_deg - b_deg));
+}
+
+double positional_angle(double panel_bearing_deg,
+                        double panel_to_ue_bearing_deg) noexcept {
+  return angular_distance(panel_bearing_deg, panel_to_ue_bearing_deg);
+}
+
+double mobility_angle(double panel_bearing_deg, double ue_heading_deg) noexcept {
+  // 0° when moving along the panel's facing direction, 180° when moving
+  // opposite to it (i.e. head-on toward the panel face).
+  return angular_distance(panel_bearing_deg, ue_heading_deg);
+}
+
+char positional_sector(double theta_p_deg, double signed_offset_deg) noexcept {
+  if (theta_p_deg < 45.0) return 'F';
+  if (theta_p_deg >= 135.0) return 'B';
+  return signed_offset_deg < 0.0 ? 'L' : 'R';
+}
+
+}  // namespace lumos::geo

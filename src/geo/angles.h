@@ -1,0 +1,40 @@
+// Angle utilities for the UE–panel geometry studied in paper §4.3–§4.5:
+// the positional angle θp and the mobility angle θm (Fig. 5).
+#pragma once
+
+namespace lumos::geo {
+
+struct Vec2;  // from local_frame.h
+
+/// Normalizes an angle in degrees into [0, 360).
+double norm360(double deg) noexcept;
+
+/// Normalizes an angle in degrees into (-180, 180].
+double norm180(double deg) noexcept;
+
+/// Absolute smallest difference between two bearings, in [0, 180].
+double angular_distance(double a_deg, double b_deg) noexcept;
+
+/// UE–panel positional angle θp (paper §4.5): the angle between the line
+/// normal to the panel's front face and the line from the panel to the UE.
+/// 0° means the UE is dead ahead of the panel ("F"), 180° means directly
+/// behind ("B").
+///
+/// `panel_bearing_deg` is the compass direction the panel faces;
+/// `panel_to_ue_bearing_deg` is the compass bearing from panel to UE.
+double positional_angle(double panel_bearing_deg,
+                        double panel_to_ue_bearing_deg) noexcept;
+
+/// UE–panel mobility angle θm (paper §4.4): the angle between the panel's
+/// facing direction and the UE's direction of travel. By the paper's
+/// convention θm = 180° when the UE moves head-on toward the panel face and
+/// θm = 0° when it moves the same direction the panel faces (walking away,
+/// body blocking LoS).
+double mobility_angle(double panel_bearing_deg,
+                      double ue_heading_deg) noexcept;
+
+/// Classifies θp into the paper's four coarse sectors: 'F' (|θp|<45°),
+/// 'L', 'R' (side quadrants) and 'B' (back).
+char positional_sector(double theta_p_deg, double signed_offset_deg) noexcept;
+
+}  // namespace lumos::geo

@@ -1,0 +1,104 @@
+#include "geo/coordinates.h"
+
+#include <algorithm>
+
+namespace lumos::geo {
+namespace {
+
+/// Maximum latitude representable in Web-Mercator.
+constexpr double kMaxMercatorLat = 85.05112877980659;
+
+double clamp_lat(double lat) noexcept {
+  return std::clamp(lat, -kMaxMercatorLat, kMaxMercatorLat);
+}
+
+double wrap_lon(double lon) noexcept {
+  while (lon < -180.0) lon += 360.0;
+  while (lon >= 180.0) lon -= 360.0;
+  return lon;
+}
+
+}  // namespace
+
+WorldCoord project(const LatLon& ll) noexcept {
+  const double lat = deg2rad(clamp_lat(ll.lat_deg));
+  const double lon = wrap_lon(ll.lon_deg);
+  WorldCoord wc;
+  wc.x = kTileSize * (0.5 + lon / 360.0);
+  const double siny = std::sin(lat);
+  wc.y = kTileSize * (0.5 - std::log((1.0 + siny) / (1.0 - siny)) / (4.0 * kPi));
+  // Guard against floating-point spill just past the clamped poles.
+  wc.y = std::clamp(wc.y, 0.0, static_cast<double>(kTileSize));
+  return wc;
+}
+
+LatLon unproject(const WorldCoord& wc) noexcept {
+  LatLon ll;
+  ll.lon_deg = (wc.x / kTileSize - 0.5) * 360.0;
+  const double n = kPi * (1.0 - 2.0 * wc.y / kTileSize);
+  ll.lat_deg = rad2deg(std::atan(std::sinh(n)));
+  return ll;
+}
+
+PixelCoord pixelize(const LatLon& ll, int zoom) noexcept {
+  const WorldCoord wc = project(ll);
+  const double scale = static_cast<double>(std::int64_t{1} << zoom);
+  PixelCoord px;
+  px.x = static_cast<std::int64_t>(std::floor(wc.x * scale));
+  px.y = static_cast<std::int64_t>(std::floor(wc.y * scale));
+  px.zoom = zoom;
+  return px;
+}
+
+LatLon pixel_center(const PixelCoord& px) noexcept {
+  const double scale = static_cast<double>(std::int64_t{1} << px.zoom);
+  WorldCoord wc;
+  wc.x = (static_cast<double>(px.x) + 0.5) / scale;
+  wc.y = (static_cast<double>(px.y) + 0.5) / scale;
+  return unproject(wc);
+}
+
+double meters_per_pixel(double lat_deg, int zoom) noexcept {
+  const double scale = static_cast<double>(std::int64_t{1} << zoom);
+  const double circumference = 2.0 * kPi * kEarthRadiusM;
+  return circumference * std::cos(deg2rad(clamp_lat(lat_deg))) /
+         (kTileSize * scale);
+}
+
+double haversine_m(const LatLon& a, const LatLon& b) noexcept {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double bearing_deg(const LatLon& a, const LatLon& b) noexcept {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double brg = rad2deg(std::atan2(y, x));
+  if (brg < 0.0) brg += 360.0;
+  return brg;
+}
+
+LatLon destination(const LatLon& origin, double bearing, double distance_m) noexcept {
+  const double ang = distance_m / kEarthRadiusM;
+  const double brg = deg2rad(bearing);
+  const double lat1 = deg2rad(origin.lat_deg);
+  const double lon1 = deg2rad(origin.lon_deg);
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(ang) +
+                                std::cos(lat1) * std::sin(ang) * std::cos(brg));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(brg) * std::sin(ang) * std::cos(lat1),
+                        std::cos(ang) - std::sin(lat1) * std::sin(lat2));
+  return LatLon{rad2deg(lat2), wrap_lon(rad2deg(lon2))};
+}
+
+}  // namespace lumos::geo

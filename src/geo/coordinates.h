@@ -1,0 +1,81 @@
+// Geographic coordinate types and the Web-Mercator projection used by the
+// Lumos5G pipeline to "pixelize" raw GPS fixes (paper §3.1: Google Maps
+// pixel coordinates at zoom level 17, ~1 m spatial resolution).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace lumos::geo {
+
+/// Mean Earth radius in meters (WGS-84 authalic sphere, as used by the
+/// Web-Mercator projection).
+inline constexpr double kEarthRadiusM = 6378137.0;
+
+/// Size in pixels of one Web-Mercator world tile edge at zoom 0.
+inline constexpr int kTileSize = 256;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+constexpr double deg2rad(double deg) noexcept { return deg * kPi / 180.0; }
+constexpr double rad2deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+/// A WGS-84 geographic coordinate in degrees.
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+/// A position in Web-Mercator "world coordinates": the continuous
+/// [0, 256) x [0, 256) square covering the whole Earth at zoom 0.
+struct WorldCoord {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const WorldCoord&, const WorldCoord&) = default;
+};
+
+/// An integral pixel coordinate at a specific zoom level. Two samples that
+/// map to the same PixelCoord are treated as the same geolocation
+/// (paper §3.1, data-quality rule 4).
+struct PixelCoord {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  int zoom = 17;
+
+  friend auto operator<=>(const PixelCoord&, const PixelCoord&) = default;
+};
+
+/// Projects a WGS-84 coordinate to Web-Mercator world coordinates.
+/// Latitude is clamped to the Mercator validity range (~±85.05113°).
+WorldCoord project(const LatLon& ll) noexcept;
+
+/// Inverse Web-Mercator projection.
+LatLon unproject(const WorldCoord& wc) noexcept;
+
+/// Quantizes a geographic coordinate to an integral pixel at `zoom`.
+PixelCoord pixelize(const LatLon& ll, int zoom = 17) noexcept;
+
+/// Center of a pixel as a geographic coordinate.
+LatLon pixel_center(const PixelCoord& px) noexcept;
+
+/// Ground meters covered by one pixel edge at `zoom` and latitude `lat_deg`.
+/// At zoom 17 near 45°N this is ~0.84 m; the paper quotes 0.99–1.19 m over
+/// its study areas.
+double meters_per_pixel(double lat_deg, int zoom) noexcept;
+
+/// Great-circle distance between two coordinates in meters (haversine).
+double haversine_m(const LatLon& a, const LatLon& b) noexcept;
+
+/// Initial great-circle bearing from `a` to `b` in degrees clockwise from
+/// North, in [0, 360).
+double bearing_deg(const LatLon& a, const LatLon& b) noexcept;
+
+/// Destination point starting at `origin`, moving `distance_m` meters along
+/// `bearing` degrees (clockwise from North). Spherical Earth model.
+LatLon destination(const LatLon& origin, double bearing, double distance_m) noexcept;
+
+}  // namespace lumos::geo

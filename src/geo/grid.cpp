@@ -1,0 +1,17 @@
+#include "geo/grid.h"
+
+#include <cmath>
+
+namespace lumos::geo {
+
+GridCell Grid::cell_of(Vec2 p) const noexcept {
+  return {static_cast<std::int32_t>(std::floor(p.x / cell_m_)),
+          static_cast<std::int32_t>(std::floor(p.y / cell_m_))};
+}
+
+Vec2 Grid::center_of(GridCell c) const noexcept {
+  return {(static_cast<double>(c.ix) + 0.5) * cell_m_,
+          (static_cast<double>(c.iy) + 0.5) * cell_m_};
+}
+
+}  // namespace lumos::geo

@@ -1,0 +1,38 @@
+#include "geo/local_frame.h"
+
+#include <cmath>
+
+namespace lumos::geo {
+
+double length(Vec2 v) noexcept { return std::hypot(v.x, v.y); }
+
+double distance(Vec2 a, Vec2 b) noexcept { return length(b - a); }
+
+double bearing_of(Vec2 v) noexcept {
+  double deg = rad2deg(std::atan2(v.x, v.y));
+  if (deg < 0.0) deg += 360.0;
+  return deg;
+}
+
+Vec2 unit_from_bearing(double deg) noexcept {
+  const double rad = deg2rad(deg);
+  return {std::sin(rad), std::cos(rad)};
+}
+
+LocalFrame::LocalFrame(const LatLon& origin) noexcept
+    : origin_(origin),
+      m_per_deg_lat_(kEarthRadiusM * kPi / 180.0),
+      m_per_deg_lon_(kEarthRadiusM * kPi / 180.0 *
+                     std::cos(deg2rad(origin.lat_deg))) {}
+
+Vec2 LocalFrame::to_local(const LatLon& ll) const noexcept {
+  return {(ll.lon_deg - origin_.lon_deg) * m_per_deg_lon_,
+          (ll.lat_deg - origin_.lat_deg) * m_per_deg_lat_};
+}
+
+LatLon LocalFrame::to_geo(const Vec2& v) const noexcept {
+  return {origin_.lat_deg + v.y / m_per_deg_lat_,
+          origin_.lon_deg + v.x / m_per_deg_lon_};
+}
+
+}  // namespace lumos::geo

@@ -1,0 +1,98 @@
+#include "ml/forest.h"
+
+#include <cmath>
+
+namespace lumos::ml {
+namespace {
+
+std::size_t default_subsample(std::size_t d, std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  return static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(d))));
+}
+
+std::vector<std::size_t> bootstrap(std::size_t n, double fraction, Rng& rng) {
+  const auto k = static_cast<std::size_t>(
+      std::max(1.0, fraction * static_cast<double>(n)));
+  std::vector<std::size_t> idx(k);
+  for (auto& i : idx) i = static_cast<std::size_t>(rng.uniform_int(n));
+  return idx;
+}
+
+}  // namespace
+
+void RandomForestRegressor::fit(const FeatureMatrix& x,
+                                std::span<const double> y) {
+  mapper_.fit(x, cfg_.n_bins);
+  const auto codes = mapper_.encode(x);
+  std::vector<double> hess(x.rows(), 1.0);
+
+  TreeConfig tc;
+  tc.max_depth = cfg_.max_depth;
+  tc.min_samples_leaf = cfg_.min_samples_leaf;
+  tc.lambda = 0.0;  // unregularized means, classic RF behaviour
+  tc.feature_subsample = default_subsample(x.cols(), cfg_.feature_subsample);
+
+  Rng rng(cfg_.seed);
+  trees_.assign(cfg_.n_trees, {});
+  for (auto& tree : trees_) {
+    const auto idx = bootstrap(x.rows(), cfg_.bootstrap_fraction, rng);
+    tree.fit(codes, mapper_, y, hess, idx, tc, &rng);
+  }
+}
+
+double RandomForestRegressor::predict(std::span<const double> row) const {
+  if (trees_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& t : trees_) s += t.predict(row);
+  return s / static_cast<double>(trees_.size());
+}
+
+void RandomForestClassifier::fit(const FeatureMatrix& x,
+                                 std::span<const int> y, int n_classes) {
+  n_classes_ = n_classes;
+  mapper_.fit(x, cfg_.n_bins);
+  const auto codes = mapper_.encode(x);
+  std::vector<double> hess(x.rows(), 1.0);
+
+  TreeConfig tc;
+  tc.max_depth = cfg_.max_depth;
+  tc.min_samples_leaf = cfg_.min_samples_leaf;
+  tc.lambda = 0.0;
+  tc.feature_subsample = default_subsample(x.cols(), cfg_.feature_subsample);
+
+  Rng rng(cfg_.seed);
+  trees_.assign(cfg_.n_trees * static_cast<std::size_t>(n_classes), {});
+  std::vector<double> indicator(x.rows());
+  for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
+    const auto idx = bootstrap(x.rows(), cfg_.bootstrap_fraction, rng);
+    for (int c = 0; c < n_classes; ++c) {
+      for (std::size_t r = 0; r < x.rows(); ++r) {
+        indicator[r] = y[r] == c ? 1.0 : 0.0;
+      }
+      trees_[t * static_cast<std::size_t>(n_classes) +
+             static_cast<std::size_t>(c)]
+          .fit(codes, mapper_, indicator, hess, idx, tc, &rng);
+    }
+  }
+}
+
+int RandomForestClassifier::predict(std::span<const double> row) const {
+  if (trees_.empty() || n_classes_ == 0) return 0;
+  int best = 0;
+  double best_score = -1.0;
+  for (int c = 0; c < n_classes_; ++c) {
+    double s = 0.0;
+    for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
+      s += trees_[t * static_cast<std::size_t>(n_classes_) +
+                  static_cast<std::size_t>(c)]
+               .predict(row);
+    }
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace lumos::ml

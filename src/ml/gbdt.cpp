@@ -1,0 +1,167 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lumos::ml {
+namespace {
+
+std::vector<std::size_t> row_sample(std::size_t n, double fraction, Rng& rng) {
+  if (fraction >= 1.0) {
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    return idx;
+  }
+  const auto k = static_cast<std::size_t>(
+      std::max(1.0, fraction * static_cast<double>(n)));
+  auto perm = rng.permutation(n);
+  perm.resize(k);
+  return perm;
+}
+
+std::vector<double> normalized_gains(const std::vector<GradientTree>& trees,
+                                     std::size_t n_features) {
+  std::vector<double> gains(n_features, 0.0);
+  for (const auto& t : trees) t.accumulate_gain(gains);
+  const double total = std::accumulate(gains.begin(), gains.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& g : gains) g /= total;
+  }
+  return gains;
+}
+
+}  // namespace
+
+void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
+  n_features_ = x.cols();
+  mapper_.fit(x, cfg_.n_bins);
+  const auto codes = mapper_.encode(x);
+  const std::size_t n = x.rows();
+
+  base_ = 0.0;
+  for (double v : y) base_ += v;
+  if (n > 0) base_ /= static_cast<double>(n);
+
+  std::vector<double> pred(n, base_);
+  std::vector<double> residual(n);
+  std::vector<double> hess(n, 1.0);
+
+  TreeConfig tc;
+  tc.max_depth = cfg_.max_depth;
+  tc.min_samples_leaf = cfg_.min_samples_leaf;
+  tc.lambda = cfg_.lambda;
+
+  Rng rng(cfg_.seed);
+  trees_.assign(cfg_.n_estimators, {});
+  for (auto& tree : trees_) {
+    for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - pred[i];
+    const auto idx = row_sample(n, cfg_.subsample, rng);
+    tree.fit(codes, mapper_, residual, hess, idx, tc, &rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] += cfg_.learning_rate * tree.predict(x.row(i));
+    }
+  }
+}
+
+double GbdtRegressor::predict(std::span<const double> row) const {
+  double s = base_;
+  for (const auto& t : trees_) s += cfg_.learning_rate * t.predict(row);
+  return s;
+}
+
+std::vector<double> GbdtRegressor::feature_importance() const {
+  return normalized_gains(trees_, n_features_);
+}
+
+void GbdtClassifier::fit(const FeatureMatrix& x, std::span<const int> y,
+                         int n_classes) {
+  n_classes_ = n_classes;
+  n_features_ = x.cols();
+  mapper_.fit(x, cfg_.n_bins);
+  const auto codes = mapper_.encode(x);
+  const std::size_t n = x.rows();
+  const auto kc = static_cast<std::size_t>(n_classes);
+
+  // Prior log-probabilities as the initial margin.
+  base_.assign(kc, 0.0);
+  std::vector<double> counts(kc, 0.0);
+  for (int c : y) counts[static_cast<std::size_t>(c)] += 1.0;
+  for (std::size_t c = 0; c < kc; ++c) {
+    const double p =
+        std::max(1e-9, counts[c] / std::max<double>(1.0, static_cast<double>(n)));
+    base_[c] = std::log(p);
+  }
+
+  // margins[i * kc + c]
+  std::vector<double> margin(n * kc);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < kc; ++c) margin[i * kc + c] = base_[c];
+  }
+
+  std::vector<double> grad(n), hess(n), prob(kc);
+  TreeConfig tc;
+  tc.max_depth = cfg_.max_depth;
+  tc.min_samples_leaf = cfg_.min_samples_leaf;
+  tc.lambda = cfg_.lambda;
+
+  Rng rng(cfg_.seed);
+  trees_.assign(cfg_.n_estimators * kc, {});
+  for (std::size_t stage = 0; stage < cfg_.n_estimators; ++stage) {
+    const auto idx = row_sample(n, cfg_.subsample, rng);
+    for (std::size_t c = 0; c < kc; ++c) {
+      // Softmax probabilities and the class-c gradient/hessian.
+      for (std::size_t i = 0; i < n; ++i) {
+        double mx = margin[i * kc];
+        for (std::size_t k = 1; k < kc; ++k) {
+          mx = std::max(mx, margin[i * kc + k]);
+        }
+        double z = 0.0;
+        for (std::size_t k = 0; k < kc; ++k) {
+          prob[k] = std::exp(margin[i * kc + k] - mx);
+          z += prob[k];
+        }
+        const double p = prob[c] / z;
+        const double target = y[i] == static_cast<int>(c) ? 1.0 : 0.0;
+        grad[i] = target - p;            // negative gradient
+        hess[i] = std::max(1e-9, p * (1.0 - p));
+      }
+      GradientTree& tree = trees_[stage * kc + c];
+      tree.fit(codes, mapper_, grad, hess, idx, tc, &rng);
+      const double lr_scale =
+          cfg_.learning_rate * static_cast<double>(kc - 1) /
+          static_cast<double>(kc);
+      for (std::size_t i = 0; i < n; ++i) {
+        margin[i * kc + c] += lr_scale * tree.predict(x.row(i));
+      }
+    }
+  }
+}
+
+std::vector<double> GbdtClassifier::decision_function(
+    std::span<const double> row) const {
+  const auto kc = static_cast<std::size_t>(n_classes_);
+  std::vector<double> score(base_.begin(), base_.end());
+  const double lr_scale = cfg_.learning_rate *
+                          static_cast<double>(n_classes_ - 1) /
+                          static_cast<double>(n_classes_);
+  for (std::size_t stage = 0; stage * kc < trees_.size(); ++stage) {
+    for (std::size_t c = 0; c < kc; ++c) {
+      score[c] += lr_scale * trees_[stage * kc + c].predict(row);
+    }
+  }
+  return score;
+}
+
+int GbdtClassifier::predict(std::span<const double> row) const {
+  if (n_classes_ == 0) return 0;
+  const auto score = decision_function(row);
+  return static_cast<int>(
+      std::max_element(score.begin(), score.end()) - score.begin());
+}
+
+std::vector<double> GbdtClassifier::feature_importance() const {
+  return normalized_gains(trees_, n_features_);
+}
+
+}  // namespace lumos::ml

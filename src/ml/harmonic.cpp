@@ -1,0 +1,32 @@
+#include "ml/harmonic.h"
+
+#include <algorithm>
+
+namespace lumos::ml {
+
+double HarmonicMeanPredictor::predict_next(std::span<const double> history,
+                                           double floor) const noexcept {
+  if (history.empty()) return floor;
+  const std::size_t w = std::min(window_, history.size());
+  double denom = 0.0;
+  for (std::size_t i = history.size() - w; i < history.size(); ++i) {
+    denom += 1.0 / std::max(floor, history[i]);
+  }
+  return static_cast<double>(w) / denom;
+}
+
+std::vector<double> HarmonicMeanPredictor::predict_trace(
+    std::span<const double> trace) const {
+  std::vector<double> preds;
+  preds.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i == 0) {
+      preds.push_back(trace[0]);
+    } else {
+      preds.push_back(predict_next(trace.subspan(0, i)));
+    }
+  }
+  return preds;
+}
+
+}  // namespace lumos::ml

@@ -1,0 +1,33 @@
+// History-based Harmonic Mean (HM) predictor (Jiang et al. FESTIVE 2012;
+// Yin et al. 2015): the next throughput is the harmonic mean of the last w
+// observations. The paper's short-term in-situ baseline (Table 9 bottom).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lumos::ml {
+
+class HarmonicMeanPredictor {
+ public:
+  explicit HarmonicMeanPredictor(std::size_t window = 5) noexcept
+      : window_(window) {}
+
+  /// Predicts the next value from the trailing window of `history`.
+  /// Non-positive observations are clamped to `floor` to keep the harmonic
+  /// mean defined (5G throughput can legitimately hit 0 in dead zones).
+  double predict_next(std::span<const double> history,
+                      double floor = 1.0) const noexcept;
+
+  /// One-step-ahead predictions over a whole trace: output[i] is the
+  /// prediction for trace[i] given trace[0..i). The first element is
+  /// seeded with trace[0] (no history available).
+  std::vector<double> predict_trace(std::span<const double> trace) const;
+
+  std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+};
+
+}  // namespace lumos::ml

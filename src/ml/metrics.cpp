@@ -1,0 +1,93 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lumos::ml {
+
+double mae(std::span<const double> pred, std::span<const double> truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    s += std::fabs(pred[i] - truth[i]);
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+double rmse(std::span<const double> pred, std::span<const double> truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(pred.size()));
+}
+
+ConfusionMatrix confusion_matrix(std::span<const int> pred,
+                                 std::span<const int> truth, int n_classes) {
+  assert(pred.size() == truth.size());
+  ConfusionMatrix cm;
+  cm.n_classes = n_classes;
+  cm.counts.assign(
+      static_cast<std::size_t>(n_classes) * static_cast<std::size_t>(n_classes),
+      0);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const int t = truth[i], p = pred[i];
+    if (t < 0 || t >= n_classes || p < 0 || p >= n_classes) continue;
+    ++cm.counts[static_cast<std::size_t>(t) *
+                    static_cast<std::size_t>(n_classes) +
+                static_cast<std::size_t>(p)];
+  }
+  return cm;
+}
+
+double precision_of(const ConfusionMatrix& cm, int c) noexcept {
+  std::size_t tp = cm.at(c, c);
+  std::size_t denom = 0;
+  for (int t = 0; t < cm.n_classes; ++t) denom += cm.at(t, c);
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double recall_of(const ConfusionMatrix& cm, int c) noexcept {
+  std::size_t tp = cm.at(c, c);
+  std::size_t denom = 0;
+  for (int p = 0; p < cm.n_classes; ++p) denom += cm.at(c, p);
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double f1_of(const ConfusionMatrix& cm, int c) noexcept {
+  const double p = precision_of(cm, c);
+  const double r = recall_of(cm, c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double weighted_f1(const ConfusionMatrix& cm) noexcept {
+  std::size_t total = 0;
+  double acc = 0.0;
+  for (int c = 0; c < cm.n_classes; ++c) {
+    std::size_t support = 0;
+    for (int p = 0; p < cm.n_classes; ++p) support += cm.at(c, p);
+    total += support;
+    acc += static_cast<double>(support) * f1_of(cm, c);
+  }
+  return total == 0 ? 0.0 : acc / static_cast<double>(total);
+}
+
+double accuracy(const ConfusionMatrix& cm) noexcept {
+  std::size_t total = 0, correct = 0;
+  for (int t = 0; t < cm.n_classes; ++t) {
+    for (int p = 0; p < cm.n_classes; ++p) {
+      total += cm.at(t, p);
+      if (t == p) correct += cm.at(t, p);
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace lumos::ml

@@ -1,0 +1,44 @@
+// Evaluation metrics used in paper §6.1: MAE and RMSE for regression;
+// weighted-average F1 and per-class recall for classification.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lumos::ml {
+
+double mae(std::span<const double> pred, std::span<const double> truth);
+double rmse(std::span<const double> pred, std::span<const double> truth);
+
+/// n_classes x n_classes matrix; entry (t, p) counts samples of true class
+/// t predicted as p.
+struct ConfusionMatrix {
+  int n_classes = 0;
+  std::vector<std::size_t> counts;  ///< row-major (truth x predicted)
+
+  std::size_t at(int truth, int pred) const noexcept {
+    return counts[static_cast<std::size_t>(truth) *
+                      static_cast<std::size_t>(n_classes) +
+                  static_cast<std::size_t>(pred)];
+  }
+};
+
+ConfusionMatrix confusion_matrix(std::span<const int> pred,
+                                 std::span<const int> truth, int n_classes);
+
+/// Precision of class c: TP / (TP + FP). 0 when undefined.
+double precision_of(const ConfusionMatrix& cm, int c) noexcept;
+
+/// Recall of class c: TP / (TP + FN). 0 when undefined. The paper tracks
+/// recall of the low-throughput class specifically (§6.1).
+double recall_of(const ConfusionMatrix& cm, int c) noexcept;
+
+/// F1 of class c (harmonic mean of precision and recall).
+double f1_of(const ConfusionMatrix& cm, int c) noexcept;
+
+/// Weighted-average F1: per-class F1 weighted by true-class support.
+double weighted_f1(const ConfusionMatrix& cm) noexcept;
+
+double accuracy(const ConfusionMatrix& cm) noexcept;
+
+}  // namespace lumos::ml

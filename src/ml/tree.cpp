@@ -1,0 +1,209 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace lumos::ml {
+
+void BinMapper::fit(const FeatureMatrix& x, int n_bins) {
+  max_bins_ = n_bins;
+  const std::size_t d = x.cols();
+  const std::size_t n = x.rows();
+  edges_.assign(d, {});
+  if (n == 0) return;
+  std::vector<double> col(n);
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = x.at(r, f);
+    std::sort(col.begin(), col.end());
+    auto& e = edges_[f];
+    e.reserve(static_cast<std::size_t>(n_bins));
+    for (int b = 1; b < n_bins; ++b) {
+      const double q = static_cast<double>(b) / n_bins;
+      const auto idx = static_cast<std::size_t>(q * static_cast<double>(n - 1));
+      const double cut = col[idx];
+      if (e.empty() || cut > e.back()) e.push_back(cut);
+    }
+  }
+}
+
+std::uint16_t BinMapper::bin(std::size_t f, double v) const noexcept {
+  const auto& e = edges_[f];
+  // First bin whose cut point is >= v; values above all cuts land in the
+  // last bin.
+  const auto it = std::lower_bound(e.begin(), e.end(), v);
+  return static_cast<std::uint16_t>(it - e.begin());
+}
+
+double BinMapper::upper_edge(std::size_t f, std::uint16_t b) const noexcept {
+  const auto& e = edges_[f];
+  if (e.empty()) return std::numeric_limits<double>::infinity();
+  if (b >= e.size()) return std::numeric_limits<double>::infinity();
+  return e[b];
+}
+
+std::vector<std::uint16_t> BinMapper::encode(const FeatureMatrix& x) const {
+  std::vector<std::uint16_t> codes(x.rows() * x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+      codes[r * x.cols() + f] = bin(f, x.at(r, f));
+    }
+  }
+  return codes;
+}
+
+namespace {
+
+struct NodeTask {
+  int node = 0;
+  int depth = 0;
+  std::size_t begin = 0;  ///< range into the shared index buffer
+  std::size_t end = 0;
+};
+
+}  // namespace
+
+void GradientTree::fit(const std::vector<std::uint16_t>& codes,
+                       const BinMapper& mapper, std::span<const double> grad,
+                       std::span<const double> hess,
+                       std::span<const std::size_t> indices,
+                       const TreeConfig& cfg, Rng* rng) {
+  nodes_.clear();
+  gains_.clear();
+  const std::size_t d = mapper.n_features();
+  const auto n_bins = static_cast<std::size_t>(mapper.max_bins());
+  if (indices.empty() || d == 0) {
+    nodes_.push_back(Node{});
+    gains_.push_back(0.0);
+    return;
+  }
+
+  std::vector<std::size_t> idx(indices.begin(), indices.end());
+
+  // Reusable histogram buffers.
+  std::vector<double> hist_g(n_bins), hist_h(n_bins);
+  std::vector<std::size_t> hist_c(n_bins);
+  std::vector<std::size_t> feat_pool(d);
+  std::iota(feat_pool.begin(), feat_pool.end(), std::size_t{0});
+
+  nodes_.push_back(Node{});
+  gains_.push_back(0.0);
+  std::vector<NodeTask> stack{{0, 0, 0, idx.size()}};
+
+  while (!stack.empty()) {
+    const NodeTask task = stack.back();
+    stack.pop_back();
+    const std::size_t count = task.end - task.begin;
+
+    double gsum = 0.0, hsum = 0.0;
+    for (std::size_t i = task.begin; i < task.end; ++i) {
+      gsum += grad[idx[i]];
+      hsum += hess[idx[i]];
+    }
+    // Convention: `grad` holds the NEGATIVE loss gradient (i.e. the target
+    // direction), so the Newton leaf is +G/(H+lambda). With grad=y, hess=1
+    // this reduces to the (shrunken) mean of y.
+    nodes_[static_cast<std::size_t>(task.node)].value =
+        gsum / (hsum + cfg.lambda);
+
+    if (task.depth >= cfg.max_depth || count < 2 * cfg.min_samples_leaf) {
+      continue;
+    }
+
+    // Choose candidate features (all, or a random subset for forests).
+    std::span<const std::size_t> features(feat_pool);
+    std::vector<std::size_t> subset;
+    if (cfg.feature_subsample > 0 && cfg.feature_subsample < d && rng) {
+      subset = feat_pool;
+      rng->shuffle(subset);
+      subset.resize(cfg.feature_subsample);
+      features = subset;
+    }
+
+    const double parent_score = gsum * gsum / (hsum + cfg.lambda);
+    Split best;
+    for (const std::size_t f : features) {
+      std::fill(hist_g.begin(), hist_g.end(), 0.0);
+      std::fill(hist_h.begin(), hist_h.end(), 0.0);
+      std::fill(hist_c.begin(), hist_c.end(), std::size_t{0});
+      for (std::size_t i = task.begin; i < task.end; ++i) {
+        const std::size_t r = idx[i];
+        const std::uint16_t b = codes[r * d + f];
+        hist_g[b] += grad[r];
+        hist_h[b] += hess[r];
+        ++hist_c[b];
+      }
+      double gl = 0.0, hl = 0.0;
+      std::size_t cl = 0;
+      for (std::size_t b = 0; b + 1 < n_bins; ++b) {
+        gl += hist_g[b];
+        hl += hist_h[b];
+        cl += hist_c[b];
+        if (cl < cfg.min_samples_leaf) continue;
+        const std::size_t cr = count - cl;
+        if (cr < cfg.min_samples_leaf) break;
+        const double gr = gsum - gl;
+        const double hr = hsum - hl;
+        const double gain = gl * gl / (hl + cfg.lambda) +
+                            gr * gr / (hr + cfg.lambda) - parent_score;
+        if (gain > best.gain) {
+          best = {static_cast<int>(f), static_cast<int>(b), gain};
+        }
+      }
+    }
+
+    if (best.feature < 0 || best.gain <= cfg.min_gain) continue;
+
+    // Partition the index range: codes <= bin go left.
+    const auto bf = static_cast<std::size_t>(best.feature);
+    const auto mid_it = std::partition(
+        idx.begin() + static_cast<std::ptrdiff_t>(task.begin),
+        idx.begin() + static_cast<std::ptrdiff_t>(task.end),
+        [&](std::size_t r) {
+          return codes[r * d + bf] <= static_cast<std::uint16_t>(best.bin);
+        });
+    const auto mid =
+        static_cast<std::size_t>(mid_it - idx.begin());
+    if (mid == task.begin || mid == task.end) continue;  // degenerate
+
+    Node& node = nodes_[static_cast<std::size_t>(task.node)];
+    node.feature = best.feature;
+    node.threshold = mapper.upper_edge(bf, static_cast<std::uint16_t>(best.bin));
+    gains_[static_cast<std::size_t>(task.node)] = best.gain;
+
+    const int left = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{});
+    gains_.push_back(0.0);
+    const int right = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{});
+    gains_.push_back(0.0);
+    nodes_[static_cast<std::size_t>(task.node)].left = left;
+    nodes_[static_cast<std::size_t>(task.node)].right = right;
+
+    stack.push_back({left, task.depth + 1, task.begin, mid});
+    stack.push_back({right, task.depth + 1, mid, task.end});
+  }
+}
+
+double GradientTree::predict(std::span<const double> row) const noexcept {
+  if (nodes_.empty()) return 0.0;
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    cur = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                  : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].value;
+}
+
+void GradientTree::accumulate_gain(std::span<double> gain_by_feature) const noexcept {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].feature >= 0) {
+      const auto f = static_cast<std::size_t>(nodes_[i].feature);
+      if (f < gain_by_feature.size()) gain_by_feature[f] += gains_[i];
+    }
+  }
+}
+
+}  // namespace lumos::ml

@@ -1,0 +1,94 @@
+// Histogram-based CART decision tree fit on gradient/hessian pairs.
+// A single building block serves all tree ensembles in this library:
+//   * plain regression tree: grad = y, hess = 1  (leaf = mean y)
+//   * GDBT regression stage: grad = residual, hess = 1
+//   * GDBT multiclass stage: grad/hess from the softmax loss (Newton leaf)
+// Split gain is the standard XGBoost-style score
+//   gain = GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/types.h"
+
+namespace lumos::ml {
+
+/// Quantile-based feature binning shared by all trees of an ensemble.
+class BinMapper {
+ public:
+  BinMapper() = default;
+
+  /// Learns up to `n_bins` bins per feature from quantiles of `x`.
+  void fit(const FeatureMatrix& x, int n_bins);
+
+  /// Bin code of a raw value for feature `f`.
+  std::uint16_t bin(std::size_t f, double v) const noexcept;
+
+  /// Upper boundary value of bin `b` for feature `f`: the split threshold
+  /// "x <= threshold goes left" for a split after bin b.
+  double upper_edge(std::size_t f, std::uint16_t b) const noexcept;
+
+  /// Encodes a full matrix to row-major bin codes.
+  std::vector<std::uint16_t> encode(const FeatureMatrix& x) const;
+
+  std::size_t n_features() const noexcept { return edges_.size(); }
+  int max_bins() const noexcept { return max_bins_; }
+
+ private:
+  std::vector<std::vector<double>> edges_;  ///< per-feature cut points
+  int max_bins_ = 0;
+};
+
+struct TreeConfig {
+  int max_depth = 6;
+  std::size_t min_samples_leaf = 5;
+  double lambda = 1.0;          ///< L2 regularization on leaf values
+  double min_gain = 1e-12;      ///< minimum gain to accept a split
+  std::size_t feature_subsample = 0;  ///< features tried per node; 0 = all
+};
+
+/// One fitted tree. Nodes are stored in a flat array; leaves have
+/// feature == -1.
+class GradientTree {
+ public:
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;  ///< leaf output
+  };
+
+  /// Fits on pre-binned codes (row-major n x d, matching `mapper`).
+  /// `grad` and `hess` have length n; `indices` selects the rows to train
+  /// on (bootstrap sample for forests, all rows for boosting).
+  /// `rng` is used for per-node feature subsampling when
+  /// cfg.feature_subsample > 0.
+  void fit(const std::vector<std::uint16_t>& codes, const BinMapper& mapper,
+           std::span<const double> grad, std::span<const double> hess,
+           std::span<const std::size_t> indices, const TreeConfig& cfg,
+           Rng* rng = nullptr);
+
+  double predict(std::span<const double> row) const noexcept;
+
+  /// Adds each split's gain to `gain_by_feature` (size = n_features).
+  void accumulate_gain(std::span<double> gain_by_feature) const noexcept;
+
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  bool empty() const noexcept { return nodes_.empty(); }
+
+ private:
+  struct Split {
+    int feature = -1;
+    int bin = -1;
+    double gain = 0.0;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<double> gains_;  ///< gain of the split at each internal node
+};
+
+}  // namespace lumos::ml

@@ -1,0 +1,81 @@
+// Core data types and model interfaces for the classical ML stack.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace lumos::ml {
+
+/// Row-major feature matrix. Rows are samples, columns are features.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  FeatureMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), x_(rows * cols, 0.0) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) noexcept { return x_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const noexcept {
+    return x_[r * cols_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {x_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(std::size_t r) noexcept {
+    return {x_.data() + r * cols_, cols_};
+  }
+
+  /// Appends one row; its length must equal cols() (or set the width on the
+  /// first append).
+  void push_row(std::span<const double> row) {
+    if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+    if (row.size() != cols_) {
+      throw std::invalid_argument("FeatureMatrix::push_row: width mismatch");
+    }
+    x_.insert(x_.end(), row.begin(), row.end());
+    ++rows_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> x_;
+};
+
+/// Interface for regression models mapping a feature vector to a scalar.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void fit(const FeatureMatrix& x, std::span<const double> y) = 0;
+  virtual double predict(std::span<const double> row) const = 0;
+
+  std::vector<double> predict_all(const FeatureMatrix& x) const {
+    std::vector<double> out;
+    out.reserve(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+    return out;
+  }
+};
+
+/// Interface for classifiers over integer class labels [0, n_classes).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual void fit(const FeatureMatrix& x, std::span<const int> y,
+                   int n_classes) = 0;
+  virtual int predict(std::span<const double> row) const = 0;
+
+  std::vector<int> predict_all(const FeatureMatrix& x) const {
+    std::vector<int> out;
+    out.reserve(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+    return out;
+  }
+};
+
+}  // namespace lumos::ml

@@ -1,0 +1,54 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace lumos::nn {
+
+void Adam::step(const std::vector<Param*>& params) {
+  ++t_;
+
+  if (cfg_.clip_norm > 0.0) {
+    double sq = 0.0;
+    for (const Param* p : params) {
+      for (std::size_t i = 0; i < p->g.size(); ++i) {
+        sq += p->g.data()[i] * p->g.data()[i];
+      }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > cfg_.clip_norm) {
+      const double scale = cfg_.clip_norm / norm;
+      for (Param* p : params) {
+        for (std::size_t i = 0; i < p->g.size(); ++i) {
+          p->g.data()[i] *= scale;
+        }
+      }
+    }
+  }
+
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  for (Param* p : params) {
+    for (std::size_t i = 0; i < p->w.size(); ++i) {
+      const double g = p->g.data()[i];
+      double& m = p->m.data()[i];
+      double& v = p->v.data()[i];
+      m = cfg_.beta1 * m + (1.0 - cfg_.beta1) * g;
+      v = cfg_.beta2 * v + (1.0 - cfg_.beta2) * g * g;
+      const double mhat = m / bc1;
+      const double vhat = v / bc2;
+      p->w.data()[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+    }
+    p->zero_grad();
+  }
+}
+
+void Adam::reset(const std::vector<Param*>& params) {
+  t_ = 0;
+  for (Param* p : params) {
+    p->m.zero();
+    p->v.zero();
+    p->zero_grad();
+  }
+}
+
+}  // namespace lumos::nn

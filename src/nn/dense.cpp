@@ -1,0 +1,40 @@
+#include "nn/dense.h"
+
+namespace lumos::nn {
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : weight_(out_dim, in_dim), bias_(1, out_dim) {
+  weight_.init_xavier(rng);
+}
+
+void Dense::forward(const Matrix& x, Matrix& y) {
+  x_cache_ = x;
+  matmul_bt(x, weight_.w, y);
+  add_row_broadcast(y, bias_.w);
+}
+
+void Dense::forward_infer(const Matrix& x, Matrix& y) const {
+  matmul_bt(x, weight_.w, y);
+  add_row_broadcast(y, bias_.w);
+}
+
+void Dense::backward(const Matrix& dy, Matrix& dx) {
+  backward_with_input(dy, x_cache_, dx);
+}
+
+void Dense::backward_with_input(const Matrix& dy, const Matrix& x, Matrix& dx) {
+  // dW += dy^T x ; db += sum_rows(dy) ; dx = dy W
+  Matrix dw;
+  matmul_at(dy, x, dw);
+  add_inplace(weight_.g, dw);
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    for (std::size_t c = 0; c < dy.cols(); ++c) {
+      bias_.g(0, c) += dy(r, c);
+    }
+  }
+  matmul(dy, weight_.w, dx);
+}
+
+std::vector<Param*> Dense::params() { return {&weight_, &bias_}; }
+
+}  // namespace lumos::nn

@@ -1,0 +1,31 @@
+#include "nn/loss.h"
+
+#include <cassert>
+
+namespace lumos::nn {
+
+double mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  grad.resize(pred.rows(), pred.cols());
+  const auto n = static_cast<double>(pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    loss += d * d;
+    grad.data()[i] = 2.0 * d / n;
+  }
+  return loss / n;
+}
+
+double mse(const Matrix& pred, const Matrix& target) noexcept {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  const auto n = static_cast<double>(pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    loss += d * d;
+  }
+  return loss / n;
+}
+
+}  // namespace lumos::nn

@@ -1,0 +1,16 @@
+// Losses for Seq2Seq training. The paper trains with mean-squared error
+// (§6.1).
+#pragma once
+
+#include "nn/matrix.h"
+
+namespace lumos::nn {
+
+/// MSE over all elements; also writes dL/dpred into `grad` (same shape as
+/// pred), with the 1/N factor folded in.
+double mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad);
+
+/// Plain MSE without gradient.
+double mse(const Matrix& pred, const Matrix& target) noexcept;
+
+}  // namespace lumos::nn

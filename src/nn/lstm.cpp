@@ -1,0 +1,140 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+namespace lumos::nn {
+namespace {
+
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+LSTMCell::LSTMCell(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : hidden_(hidden_dim),
+      wx_(4 * hidden_dim, input_dim),
+      wh_(4 * hidden_dim, hidden_dim),
+      b_(1, 4 * hidden_dim) {
+  wx_.init_xavier(rng);
+  wh_.init_xavier(rng);
+  // Forget-gate bias starts at 1.0: the standard trick to preserve long-range
+  // memory early in training.
+  for (std::size_t j = 0; j < hidden_; ++j) b_.w(0, hidden_ + j) = 1.0;
+}
+
+void LSTMCell::gates(const Matrix& x, const Matrix& h_prev, Matrix& z) const {
+  matmul_bt(x, wx_.w, z);
+  Matrix zh;
+  matmul_bt(h_prev, wh_.w, zh);
+  add_inplace(z, zh);
+  add_row_broadcast(z, b_.w);
+}
+
+void LSTMCell::forward(const Matrix& x, const LSTMState& in, LSTMState& out,
+                       LSTMCache& cache) const {
+  const std::size_t batch = x.rows();
+  Matrix z;
+  gates(x, in.h, z);
+
+  cache.x = x;
+  cache.h_prev = in.h;
+  cache.c_prev = in.c;
+  cache.i.resize(batch, hidden_);
+  cache.f.resize(batch, hidden_);
+  cache.g.resize(batch, hidden_);
+  cache.o.resize(batch, hidden_);
+  cache.c.resize(batch, hidden_);
+  cache.tanh_c.resize(batch, hidden_);
+  out.h.resize(batch, hidden_);
+  out.c.resize(batch, hidden_);
+
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      const double zi = z(r, j);
+      const double zf = z(r, hidden_ + j);
+      const double zg = z(r, 2 * hidden_ + j);
+      const double zo = z(r, 3 * hidden_ + j);
+      const double i = sigmoid(zi);
+      const double f = sigmoid(zf);
+      const double g = std::tanh(zg);
+      const double o = sigmoid(zo);
+      const double c = f * in.c(r, j) + i * g;
+      const double tc = std::tanh(c);
+      cache.i(r, j) = i;
+      cache.f(r, j) = f;
+      cache.g(r, j) = g;
+      cache.o(r, j) = o;
+      cache.c(r, j) = c;
+      cache.tanh_c(r, j) = tc;
+      out.c(r, j) = c;
+      out.h(r, j) = o * tc;
+    }
+  }
+}
+
+void LSTMCell::forward_nocache(const Matrix& x, const LSTMState& in,
+                               LSTMState& out) const {
+  const std::size_t batch = x.rows();
+  Matrix z;
+  gates(x, in.h, z);
+  out.h.resize(batch, hidden_);
+  out.c.resize(batch, hidden_);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      const double i = sigmoid(z(r, j));
+      const double f = sigmoid(z(r, hidden_ + j));
+      const double g = std::tanh(z(r, 2 * hidden_ + j));
+      const double o = sigmoid(z(r, 3 * hidden_ + j));
+      const double c = f * in.c(r, j) + i * g;
+      out.c(r, j) = c;
+      out.h(r, j) = o * std::tanh(c);
+    }
+  }
+}
+
+void LSTMCell::backward(const LSTMCache& cache, const Matrix& dh,
+                        const Matrix& dc, Matrix& dx, Matrix& dh_prev,
+                        Matrix& dc_prev) {
+  const std::size_t batch = dh.rows();
+  Matrix dz(batch, 4 * hidden_);
+  dc_prev.resize(batch, hidden_);
+
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t j = 0; j < hidden_; ++j) {
+      const double i = cache.i(r, j);
+      const double f = cache.f(r, j);
+      const double g = cache.g(r, j);
+      const double o = cache.o(r, j);
+      const double tc = cache.tanh_c(r, j);
+
+      const double dht = dh(r, j);
+      // dL/dc flows in both from the next timestep (dc) and through h_t.
+      const double dct = dc(r, j) + dht * o * (1.0 - tc * tc);
+
+      const double d_o = dht * tc;
+      const double d_i = dct * g;
+      const double d_g = dct * i;
+      const double d_f = dct * cache.c_prev(r, j);
+      dc_prev(r, j) = dct * f;
+
+      dz(r, j) = d_i * i * (1.0 - i);
+      dz(r, hidden_ + j) = d_f * f * (1.0 - f);
+      dz(r, 2 * hidden_ + j) = d_g * (1.0 - g * g);
+      dz(r, 3 * hidden_ + j) = d_o * o * (1.0 - o);
+    }
+  }
+
+  Matrix dwx, dwh;
+  matmul_at(dz, cache.x, dwx);
+  matmul_at(dz, cache.h_prev, dwh);
+  add_inplace(wx_.g, dwx);
+  add_inplace(wh_.g, dwh);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t c = 0; c < 4 * hidden_; ++c) b_.g(0, c) += dz(r, c);
+  }
+  matmul(dz, wx_.w, dx);
+  matmul(dz, wh_.w, dh_prev);
+}
+
+std::vector<Param*> LSTMCell::params() { return {&wx_, &wh_, &b_}; }
+
+}  // namespace lumos::nn

@@ -1,0 +1,77 @@
+#include "nn/matrix.h"
+
+namespace lumos::nn {
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  out.resize(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // ikj loop order: streams through b and out rows contiguously.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* orow = out.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = a(i, p);
+      if (av == 0.0) continue;
+      const double* brow = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  out.resize(a.rows(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b.data() + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      out(i, j) = acc;
+    }
+  }
+}
+
+void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  out.resize(a.cols(), b.cols());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a.data() + p * m;
+    const double* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void add_inplace(Matrix& out, const Matrix& a) {
+  assert(out.rows() == a.rows() && out.cols() == a.cols());
+  double* o = out.data();
+  const double* x = a.data();
+  for (std::size_t i = 0; i < out.size(); ++i) o[i] += x[i];
+}
+
+void add_row_broadcast(Matrix& m, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.data() + r * m.cols();
+    const double* b = bias.data();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += b[c];
+  }
+}
+
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  out.resize(a.rows(), a.cols());
+  const double* x = a.data();
+  const double* y = b.data();
+  double* o = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) o[i] = x[i] * y[i];
+}
+
+}  // namespace lumos::nn

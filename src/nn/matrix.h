@@ -1,0 +1,79 @@
+// Minimal dense row-major matrix used by the neural-network stack
+// (lumos::nn). Sized for the paper's Seq2Seq models: hundreds of rows,
+// hundreds of columns — a hand-rolled kernel is plenty.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lumos::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  void fill(double v) noexcept {
+    for (auto& x : data_) x = v;
+  }
+  void zero() noexcept { fill(0.0); }
+
+  /// Resizes and zeroes.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes must agree; `out` is resized.
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T.
+void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b.
+void matmul_at(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out += a (same shape).
+void add_inplace(Matrix& out, const Matrix& a);
+
+/// Adds row vector `bias` (1 x C) to every row of `m` (R x C).
+void add_row_broadcast(Matrix& m, const Matrix& bias);
+
+/// Per-element: out = a ⊙ b.
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out);
+
+}  // namespace lumos::nn

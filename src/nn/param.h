@@ -1,0 +1,34 @@
+// A trainable parameter: weight matrix plus its gradient accumulator and
+// Adam moment buffers.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace lumos::nn {
+
+struct Param {
+  Matrix w;  ///< value
+  Matrix g;  ///< gradient (accumulated over a batch, zeroed by the optimizer)
+  Matrix m;  ///< Adam first moment
+  Matrix v;  ///< Adam second moment
+
+  Param() = default;
+  Param(std::size_t rows, std::size_t cols)
+      : w(rows, cols), g(rows, cols), m(rows, cols), v(rows, cols) {}
+
+  /// Xavier/Glorot-uniform initialization.
+  void init_xavier(Rng& rng) {
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(w.rows() + w.cols()));
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w.data()[i] = rng.uniform(-limit, limit);
+    }
+  }
+
+  void zero_grad() noexcept { g.zero(); }
+};
+
+}  // namespace lumos::nn

@@ -1,0 +1,229 @@
+#include "sim/areas.h"
+
+namespace lumos::sim {
+namespace {
+
+/// Adds the four walls of an axis-aligned box [x0,x1] x [y0,y1].
+void add_box(Environment& env, double x0, double y0, double x1, double y1,
+             double penetration, const std::string& label) {
+  env.add_wall({{x0, y0}, {x1, y0}, penetration, label + "-s"});
+  env.add_wall({{x1, y0}, {x1, y1}, penetration, label + "-e"});
+  env.add_wall({{x1, y1}, {x0, y1}, penetration, label + "-n"});
+  env.add_wall({{x0, y1}, {x0, y0}, penetration, label + "-w"});
+}
+
+}  // namespace
+
+Area make_airport() {
+  // Indoor mall corridor at MSP airport: axis along North-South, ~340 m of
+  // walkable length, two head-on single panels ~200 m apart (paper §3.2).
+  Environment env("airport", geo::LatLon{44.8800, -93.2050});
+
+  // The two single-face panels sit on the corridor axis ~200 m apart,
+  // with matching hardware (the paper's transferability experiment trains
+  // on one and tests on the other, §6.2). Indoor installs run well below
+  // the outdoor 1.9 Gbps peaks.
+  env.add_panel({/*id=*/1, /*pos=*/{0.0, -100.0}, /*bearing=*/0.0, /*peak=*/1150.0});
+  env.add_panel({/*id=*/2, /*pos=*/{-3.0, 100.0}, /*bearing=*/182.0, /*peak=*/1150.0});
+
+  // All clutter lives on the WEST half of the corridor (x < 0), i.e. the
+  // SB walkway side. The NB walkway (x > 0) keeps clean LoS to both
+  // panels, which gives the north panel its monotone distance profile
+  // (paper Fig. 11a).
+  //
+  // Booth cluster: open-space restaurants 22-52 m north of the south
+  // panel. SB walking inside the band loses LoS to the south panel and
+  // regains it beyond — the paper's Fig. 11b dip-and-regain.
+  add_box(env, -8.0, -78.0, -1.3, -48.0, 0.35, "booths");
+  // Kiosk row at mid-corridor: shadows the south panel for the whole SB
+  // north half, so SB service there depends on the (body-blocked) north
+  // panel. This flattens SB's profile and makes NB/SB heatmaps differ
+  // (paper §4.2, Fig. 9).
+  env.add_wall({{-12.0, -10.0}, {-1.4, -10.0}, 0.25, "kiosk-row"});
+
+  // Concrete side structures of the mall (outside the walkable strip).
+  env.add_wall({{-18.0, -170.0}, {-18.0, 170.0}, 0.02, "west-facade"});
+  env.add_wall({{18.0, -170.0}, {18.0, 170.0}, 0.02, "east-facade"});
+
+  // Reflective interior (glass storefronts, metal panels) around the booth
+  // band: salvages some NLoS paths (the theta_m outlier of §4.4).
+  env.add_reflective_zone({{-4.0, -60.0}, 35.0});
+
+  Area area{std::move(env), {}, {}, {}};
+
+  // Both walks include short cross-corridor detours (to seating on the
+  // east, kiosks on the west): the near-perpendicular segments populate
+  // the intermediate mobility-angle bins of paper Figs. 8/18.
+  Trajectory nb;
+  nb.id = 1;
+  nb.name = "NB";
+  nb.waypoints = {{1.5, -95.0}, {1.5, -45.0}, {7.0, -44.0}, {7.0, -15.0},
+                  {1.5, -13.0}, {1.5, 95.0}};
+  // SB continues ~65 m past the south panel into its back lobe; the two
+  // walks overlap only partially (paper §4.2: "partial overlap in their
+  // coverage footprints").
+  Trajectory sb;
+  sb.id = 2;
+  sb.name = "SB";
+  sb.waypoints = {{-1.6, 95.0}, {-1.6, 75.0}, {-6.0, 74.0}, {-6.0, 55.0},
+                  {-1.6, 53.0}, {-1.6, -165.0}};
+  area.walking.push_back(std::move(nb));
+  area.walking.push_back(std::move(sb));
+  return area;
+}
+
+Area make_intersection() {
+  // Outdoor 4-way downtown intersection with 3 dual-panel towers
+  // (paper §3.2). Roads run N-S and E-W; high-rises occupy the corners.
+  Environment env("intersection", geo::LatLon{44.9770, -93.2650});
+
+  // Street poles on the curb corners (outside the buildings), each with
+  // two panels covering the street canyons.
+  // Tower A, NE curb: north + east arms.
+  env.add_panel({10, {12.0, 12.0}, 0.0});
+  env.add_panel({11, {12.0, 12.0}, 90.0});
+  // Tower B, NW curb: west + south arms.
+  env.add_panel({12, {-12.0, 12.0}, 270.0});
+  env.add_panel({13, {-12.0, 12.0}, 180.0});
+  // Tower C, SE curb: south + east arms (east arm double-covered, so
+  // horizontal handoffs concentrate there).
+  env.add_panel({14, {12.0, -12.0}, 180.0});
+  env.add_panel({15, {12.0, -12.0}, 90.0});
+
+  // Corner buildings (concrete, effectively opaque at 28 GHz).
+  add_box(env, 15.0, 15.0, 110.0, 110.0, 0.03, "bldg-ne");
+  add_box(env, -110.0, 15.0, -15.0, 110.0, 0.03, "bldg-nw");
+  add_box(env, 15.0, -110.0, 110.0, -15.0, 0.03, "bldg-se");
+  add_box(env, -110.0, -110.0, -15.0, -15.0, 0.03, "bldg-sw");
+
+  // Street canyon reflections near the center.
+  env.add_reflective_zone({{0.0, 0.0}, 35.0});
+
+  // Per-arm clutter that differentiates the arms' throughput profiles
+  // (real downtown blocks are not interchangeable): an enclosed skyway
+  // crossing the north arm and a construction fence on the west arm.
+  env.add_wall({{-14.0, 70.0}, {14.0, 70.0}, 0.40, "skyway"});
+  env.add_wall({{-60.0, -14.0}, {-60.0, 14.0}, 0.55, "construction"});
+
+  Area area{std::move(env), {}, {}, {}};
+
+  // 12 walking trajectories: every arm walked inbound and outbound (8)
+  // plus four L-shaped corner-to-corner crossings (paper Table 2:
+  // trajectories of 232-274 m).
+  int id = 1;
+  const double kArm = 130.0;  // arm length from the center
+  const double kOff = 8.0;    // sidewalk offset from the road axis
+  const auto add_traj = [&](const std::string& name,
+                            std::vector<geo::Vec2> wps) {
+    Trajectory t;
+    t.id = id++;
+    t.name = name;
+    t.waypoints = std::move(wps);
+    area.walking.push_back(std::move(t));
+  };
+  // North arm (walking south-bound and north-bound on the west sidewalk).
+  add_traj("N-in", {{-kOff, kArm}, {-kOff, -kArm}});
+  add_traj("N-out", {{kOff, -kArm}, {kOff, kArm}});
+  // South arm (east sidewalk).
+  add_traj("S-in", {{kOff, -kArm}, {kOff, kArm}});
+  add_traj("S-out", {{-kOff, kArm}, {-kOff, -kArm}});
+  // East arm.
+  add_traj("E-in", {{kArm, kOff}, {-kArm, kOff}});
+  add_traj("E-out", {{-kArm, -kOff}, {kArm, -kOff}});
+  // West arm.
+  add_traj("W-in", {{-kArm, -kOff}, {kArm, -kOff}});
+  add_traj("W-out", {{kArm, kOff}, {-kArm, kOff}});
+  // L-shaped crossings, one per corner.
+  add_traj("X-ne", {{kOff, kArm}, {kOff, kOff}, {kArm, kOff}});
+  add_traj("X-nw", {{-kArm, kOff}, {-kOff, kOff}, {-kOff, kArm}});
+  add_traj("X-se", {{kArm, -kOff}, {kOff, -kOff}, {kOff, -kArm}});
+  add_traj("X-sw", {{-kOff, -kArm}, {-kOff, -kOff}, {-kArm, -kOff}});
+  return area;
+}
+
+Area make_loop() {
+  // The 1300 m loop near U.S. Bank Stadium: roads, a rail crossing that
+  // kills mmWave coverage, restaurants, a park. Panel sites exist but were
+  // NOT reliably surveyed (paper §6.2: no T features for the Loop).
+  Environment env("loop", geo::LatLon{44.9740, -93.2580});
+
+  // Loop rectangle: 400 m x 250 m = 1300 m perimeter. One panel per side,
+  // each aimed down its road so roughly half of the loop has 5G coverage
+  // and the rest falls back to LTE (the 4G stretches of paper Figs. 1-2).
+  env.add_panel({21, {60.0, -6.0}, 90.0});     // south side, facing east
+  env.add_panel({22, {406.0, 10.0}, 0.0});     // east side, facing north
+  env.add_panel({23, {340.0, 256.0}, 270.0});  // north side, facing west
+  env.add_panel({24, {-6.0, 220.0}, 180.0});   // west side, facing south
+  env.set_panels_surveyed(false);
+
+  // Stadium-side high-rise inside the loop blocks diagonal coverage.
+  add_box(env, 140.0, 60.0, 300.0, 190.0, 0.02, "stadium");
+  // Rail crossing shelter + underpass near (200, 0): a 5G dead patch.
+  add_box(env, 185.0, -14.0, 225.0, 14.0, 0.04, "rail");
+  // Restaurant row along the north edge (lighter obstruction).
+  add_box(env, 40.0, 236.0, 120.0, 252.0, 0.30, "restaurants");
+
+  // Park greenery on the west edge reflects poorly but scatters some
+  // energy back.
+  env.add_reflective_zone({{0.0, 125.0}, 60.0});
+
+  Area area{std::move(env), {}, {}, {}};
+
+  // The loop is walked/driven in both directions (paper Table 2 lists two
+  // Loop trajectories).
+  Trajectory ccw;
+  ccw.id = 1;
+  ccw.name = "loop-ccw";
+  ccw.waypoints = {{0.0, 0.0},   {400.0, 0.0}, {400.0, 250.0},
+                   {0.0, 250.0}, {0.0, 0.0}};
+  Trajectory cw;
+  cw.id = 2;
+  cw.name = "loop-cw";
+  cw.waypoints = {{0.0, 0.0},   {0.0, 250.0}, {400.0, 250.0},
+                  {400.0, 0.0}, {0.0, 0.0}};
+  Trajectory ccw_drive = ccw;
+  ccw_drive.id = 3;
+  ccw_drive.name = "loop-ccw-drive";
+  Trajectory cw_drive = cw;
+  cw_drive.id = 4;
+  cw_drive.name = "loop-cw-drive";
+  area.walking.push_back(std::move(ccw));
+  area.walking.push_back(std::move(cw));
+  area.driving.push_back(std::move(ccw_drive));
+  area.driving.push_back(std::move(cw_drive));
+
+  // Mid-block pedestrian lights (inside panel coverage) plus the rail
+  // crossing (a 5G dead zone, so stopped traffic there sits on LTE).
+  area.stop_points = {{100.0, 0.0}, {400.0, 125.0}, {240.0, 250.0},
+                      {0.0, 100.0}, {205.0, 0.0}};
+  return area;
+}
+
+data::Dataset collect_area_dataset(const Area& area, int walk_runs,
+                                   int drive_runs, std::uint64_t seed,
+                                   const CollectorConfig& base) {
+  data::Dataset ds;
+  MeasurementCollector collector(area.env);
+  Rng seeder(seed);
+
+  CollectorConfig cfg = base;
+  cfg.n_runs = walk_runs;
+  MotionConfig walk;
+  walk.mode = data::Activity::kWalking;
+  for (const auto& traj : area.walking) {
+    collector.collect(traj, walk, {}, cfg, seeder.next_u64(), ds);
+  }
+
+  cfg.n_runs = drive_runs;
+  MotionConfig drive;
+  drive.mode = data::Activity::kDriving;
+  for (const auto& traj : area.driving) {
+    collector.collect(traj, drive, area.stop_points, cfg, seeder.next_u64(),
+                      ds);
+  }
+
+  ds.clean();
+  return ds;
+}
+
+}  // namespace lumos::sim

@@ -1,0 +1,36 @@
+// Factories for the paper's three study areas (Table 2):
+//   Airport      — indoor mall corridor, two head-on single panels ~200 m
+//                  apart, shopping-booth NLoS band, NB/SB trajectories
+//   Intersection — outdoor 4-way downtown intersection, 3 dual-panel
+//                  towers, corner buildings, 12 walking trajectories
+//   Loop         — 1300 m downtown loop with rail crossing and traffic
+//                  stops; panel locations NOT surveyed (no T features)
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "sim/collector.h"
+#include "sim/environment.h"
+#include "sim/mobility.h"
+
+namespace lumos::sim {
+
+struct Area {
+  Environment env;
+  std::vector<Trajectory> walking;
+  std::vector<Trajectory> driving;
+  std::vector<geo::Vec2> stop_points;  ///< scripted stops (driving)
+};
+
+Area make_airport();
+Area make_intersection();
+Area make_loop();
+
+/// Collects a cleaned dataset for an area: every walking trajectory
+/// `walk_runs` times and every driving trajectory `drive_runs` times.
+data::Dataset collect_area_dataset(const Area& area, int walk_runs,
+                                   int drive_runs, std::uint64_t seed,
+                                   const CollectorConfig& base = {});
+
+}  // namespace lumos::sim

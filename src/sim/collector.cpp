@@ -1,0 +1,129 @@
+#include "sim/collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.h"
+
+namespace lumos::sim {
+namespace {
+
+/// Maps a capacity fraction to an RSRP-like dBm value.
+double capacity_to_rsrp(double cap_mbps, double peak_mbps, Rng& rng) noexcept {
+  const double frac = std::max(1e-4, cap_mbps / std::max(1.0, peak_mbps));
+  const double dbm = -70.0 + 20.0 * std::log10(frac) + rng.normal(0.0, 1.5);
+  return std::clamp(dbm, -140.0, -60.0);
+}
+
+}  // namespace
+
+void fill_panel_geometry(const Environment& env, int serving_index,
+                         const UEContext& observed_ue,
+                         data::SampleRecord& rec) noexcept {
+  if (!env.panels_surveyed() || env.panels().empty()) return;
+  std::size_t panel_idx;
+  if (serving_index >= 0) {
+    panel_idx = static_cast<std::size_t>(serving_index);
+  } else {
+    // On LTE: compute geometry w.r.t. the strongest 5G candidate — the
+    // panel a 5G attach would use, which is what the exogenous tower survey
+    // gives the pipeline.
+    panel_idx = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < env.panels().size(); ++i) {
+      const double c = env.mean_capacity(i, observed_ue);
+      if (c > best) {
+        best = c;
+        panel_idx = i;
+      }
+    }
+  }
+  const Panel& p = env.panels()[panel_idx];
+  UEContext ue = observed_ue;
+  const LinkGeometry g = link_geometry(p, ue);
+  rec.ue_panel_distance_m = g.distance_m;
+  rec.theta_p_deg = g.theta_p_deg;
+  rec.theta_m_deg = g.theta_m_deg;
+}
+
+void MeasurementCollector::collect(const Trajectory& traj,
+                                   const MotionConfig& motion,
+                                   const std::vector<geo::Vec2>& stop_points,
+                                   const CollectorConfig& cfg,
+                                   std::uint64_t seed,
+                                   data::Dataset& out) const {
+  Rng master(seed);
+  for (int run = 0; run < cfg.n_runs; ++run) {
+    Rng rng = master.fork();
+    MotionSimulator motion_sim(traj, motion, stop_points, rng);
+    SensorModel sensors(cfg.sensors, rng);
+    ConnectionManager conn(env_, rng, cfg.connection);
+
+    for (int t = 0; t < cfg.max_run_seconds; ++t) {
+      const MotionSample m = motion_sim.step(rng);
+      const SensorReading obs = sensors.observe(m, motion.mode,
+                                                env_.frame(), rng);
+
+      // The radio sees the TRUE position/heading; the log records the
+      // observed ones.
+      UEContext true_ue{m.pos, m.heading_deg, m.speed_mps, motion.mode};
+
+      data::SampleRecord rec;
+      rec.area = env_.name();
+      rec.trajectory_id = traj.id;
+      rec.run_id = run;
+      rec.timestamp_s = static_cast<double>(t);
+      rec.latitude = obs.latitude;
+      rec.longitude = obs.longitude;
+      rec.gps_accuracy_m = obs.gps_accuracy_m;
+      rec.detected_activity = obs.activity;
+      rec.moving_speed_mps = obs.speed_mps;
+      rec.compass_deg = obs.compass_deg;
+      rec.compass_accuracy = obs.compass_accuracy;
+
+      if (cfg.lock_lte) {
+        rec.radio_type = data::RadioType::kLte;
+        rec.cell_id = -1000;
+        const double lte_cap = env_.lte().capacity(m.pos, rng);
+        rec.throughput_mbps = lte_cap;
+        rec.lte_rsrp = capacity_to_rsrp(lte_cap, 220.0, rng);
+        rec.nr_ssrsrp = -140.0;
+      } else {
+        const TickResult tick = conn.tick(true_ue, rng, cfg.n_sharing_ues);
+        rec.radio_type = tick.radio;
+        rec.cell_id = tick.cell_id;
+        rec.throughput_mbps = tick.throughput_mbps;
+        rec.horizontal_handoff = tick.horizontal_handoff;
+        rec.vertical_handoff = tick.vertical_handoff;
+        if (tick.radio == data::RadioType::kNrMmWave) {
+          const double peak =
+              env_.panels()[static_cast<std::size_t>(tick.serving_index)]
+                  .peak_mbps;
+          rec.nr_ssrsrp = capacity_to_rsrp(tick.serving_capacity_mbps, peak,
+                                           rng);
+        } else {
+          rec.nr_ssrsrp = -140.0;
+        }
+        // LTE anchor (NSA keeps an LTE link up for control plane).
+        rec.lte_rsrp =
+            capacity_to_rsrp(env_.lte().mean_capacity(m.pos), 220.0, rng);
+
+        // Post-processed tower geometry from the OBSERVED fix/compass.
+        const geo::LocalFrame& frame = env_.frame();
+        UEContext observed_ue{
+            frame.to_local({obs.latitude, obs.longitude}),
+            obs.compass_deg, obs.speed_mps, motion.mode};
+        fill_panel_geometry(env_, tick.serving_index, observed_ue, rec);
+      }
+      rec.lte_rsrq = -19.5 + (rec.lte_rsrp + 120.0) / 6.0;
+      rec.lte_rssi = rec.lte_rsrp + 20.0;
+      rec.nr_ssrsrq = -20.0 + (rec.nr_ssrsrp + 140.0) / 8.0;
+      rec.nr_ssrssi = rec.nr_ssrsrp + 18.0;
+
+      out.append(std::move(rec));
+      if (m.finished) break;
+    }
+  }
+}
+
+}  // namespace lumos::sim

@@ -1,0 +1,49 @@
+// The measurement campaign driver: walks/drives a UE along a trajectory,
+// runs the connection state machine, and logs one SampleRecord per second
+// with all the Table 1 fields — the simulated counterpart of the paper's
+// Android measurement app + iPerf backend (§3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "sim/connection.h"
+#include "sim/environment.h"
+#include "sim/mobility.h"
+#include "sim/sensors.h"
+
+namespace lumos::sim {
+
+struct CollectorConfig {
+  int n_runs = 30;              ///< repeated passes per trajectory (paper: >=30)
+  int max_run_seconds = 3600;   ///< safety cap per pass
+  bool lock_lte = false;        ///< 4G-only UE (paper A.4 side-by-side phone)
+  int n_sharing_ues = 1;        ///< concurrent saturating UEs on the panel
+  SensorConfig sensors{};
+  ConnectionConfig connection{};
+};
+
+class MeasurementCollector {
+ public:
+  explicit MeasurementCollector(const Environment& env) noexcept : env_(env) {}
+
+  /// Runs `cfg.n_runs` passes of `traj` under `motion` and appends the
+  /// logged samples to `out`. `stop_points` are scripted stop locations
+  /// (traffic lights etc., driving mode only).
+  void collect(const Trajectory& traj, const MotionConfig& motion,
+               const std::vector<geo::Vec2>& stop_points,
+               const CollectorConfig& cfg, std::uint64_t seed,
+               data::Dataset& out) const;
+
+ private:
+  const Environment& env_;
+};
+
+/// Fills the post-processed panel-geometry fields of `rec` (distance, θp,
+/// θm) w.r.t. the serving panel (or the strongest panel when on LTE),
+/// using the *observed* position/compass like the paper's post-processing.
+void fill_panel_geometry(const Environment& env, int serving_index,
+                         const UEContext& observed_ue,
+                         data::SampleRecord& rec) noexcept;
+
+}  // namespace lumos::sim

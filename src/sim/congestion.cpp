@@ -1,0 +1,48 @@
+#include "sim/congestion.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "sim/connection.h"
+
+namespace lumos::sim {
+
+CongestionResult run_congestion_experiment(const Environment& env,
+                                           const CongestionConfig& cfg,
+                                           std::uint64_t seed) {
+  CongestionResult out;
+  const auto n = static_cast<std::size_t>(cfg.n_ues);
+  const auto total = static_cast<std::size_t>(cfg.total_s);
+  out.throughput.assign(n, std::vector<double>(
+                               total, std::numeric_limits<double>::quiet_NaN()));
+  out.active_count.assign(total, 0);
+
+  Rng master(seed);
+  std::vector<Rng> rngs;
+  std::vector<std::unique_ptr<ConnectionManager>> conns;
+  rngs.reserve(n);
+  conns.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    rngs.push_back(master.fork());
+    conns.push_back(std::make_unique<ConnectionManager>(env, rngs[u]));
+  }
+
+  const UEContext ue{cfg.position, cfg.heading_deg, 0.0,
+                     data::Activity::kStill};
+  for (std::size_t t = 0; t < total; ++t) {
+    int active = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (t >= u * static_cast<std::size_t>(cfg.stagger_s)) ++active;
+    }
+    out.active_count[t] = active;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (t < u * static_cast<std::size_t>(cfg.stagger_s)) continue;
+      const TickResult r = conns[u]->tick(ue, rngs[u], active);
+      out.throughput[u][t] = r.throughput_mbps;
+    }
+  }
+  return out;
+}
+
+}  // namespace lumos::sim

@@ -1,0 +1,32 @@
+// Multi-UE congestion experiment (paper A.1.4, Fig. 21): several UEs placed
+// side-by-side in the coverage of one panel start staggered iPerf sessions;
+// the panel's airtime is shared among the active ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/environment.h"
+
+namespace lumos::sim {
+
+struct CongestionConfig {
+  int n_ues = 4;
+  int stagger_s = 60;   ///< gap between session starts
+  int total_s = 240;    ///< experiment length (all sessions end together)
+  geo::Vec2 position;   ///< shared UE location (paper: ~25 m, clear LoS)
+  double heading_deg = 0.0;
+};
+
+struct CongestionResult {
+  /// throughput[u][t] is UE u's throughput at second t; NaN while inactive.
+  std::vector<std::vector<double>> throughput;
+  /// Number of active UEs at each second.
+  std::vector<int> active_count;
+};
+
+CongestionResult run_congestion_experiment(const Environment& env,
+                                           const CongestionConfig& cfg,
+                                           std::uint64_t seed);
+
+}  // namespace lumos::sim

@@ -1,0 +1,122 @@
+#include "sim/connection.h"
+
+#include <algorithm>
+
+namespace lumos::sim {
+
+ConnectionManager::ConnectionManager(const Environment& env, Rng& rng,
+                                     ConnectionConfig cfg)
+    : env_(env), cfg_(cfg) {
+  shadowing_.reserve(env.panels().size());
+  for (std::size_t i = 0; i < env.panels().size(); ++i) {
+    shadowing_.emplace_back(env.fading_config(), rng);
+  }
+}
+
+TickResult ConnectionManager::tick(const UEContext& ue, Rng& rng,
+                                   int n_sharing_ues) {
+  TickResult out;
+  const auto& panels = env_.panels();
+  n_sharing_ues = std::max(1, n_sharing_ues);
+
+  // Per-panel capacity this second (deterministic geometry x shadowing).
+  std::vector<double> cap(panels.size(), 0.0);
+  int best = -1;
+  double best_cap = 0.0;
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    cap[i] = env_.mean_capacity(i, ue) * shadowing_[i].step(rng);
+    if (cap[i] > best_cap) {
+      best_cap = cap[i];
+      best = static_cast<int>(i);
+    }
+  }
+
+  bool outage = false;
+
+  if (serving_ < 0) {
+    if (!ever_attached_) {
+      // Session start: attach straight away if any panel is viable;
+      // otherwise camp on LTE (and future 5G entries count as handoffs).
+      if (best >= 0 && best_cap >= cfg_.lte_fallback_mbps) {
+        serving_ = best;
+      }
+    } else if (best >= 0 && best_cap >= cfg_.nr_reentry_mbps) {
+      // On LTE: must see solid 5G for a few seconds before returning.
+      ++reentry_streak_;
+      if (reentry_streak_ >= cfg_.nr_reentry_delay_s) {
+        serving_ = best;
+        reentry_streak_ = 0;
+        out.vertical_handoff = true;
+        outage = true;
+      }
+    } else {
+      reentry_streak_ = 0;
+    }
+  } else {
+    const double serving_cap = cap[static_cast<std::size_t>(serving_)];
+    if (serving_cap < cfg_.lte_fallback_mbps &&
+        best_cap < cfg_.lte_fallback_mbps) {
+      // 5G is dead here: vertical handoff down to LTE.
+      serving_ = -1;
+      switch_candidate_ = -1;
+      switch_streak_ = 0;
+      out.vertical_handoff = true;
+      outage = true;
+    } else if (best >= 0 && best != serving_ &&
+               best_cap > cfg_.handoff_hysteresis * serving_cap) {
+      if (best == switch_candidate_) {
+        ++switch_streak_;
+      } else {
+        switch_candidate_ = best;
+        switch_streak_ = 1;
+      }
+      if (switch_streak_ >= cfg_.handoff_eval_s) {
+        serving_ = best;
+        switch_candidate_ = -1;
+        switch_streak_ = 0;
+        out.horizontal_handoff = true;
+        outage = true;
+      }
+    } else {
+      switch_candidate_ = -1;
+      switch_streak_ = 0;
+    }
+  }
+
+  // Realized throughput.
+  const double fast = fast_fading(env_.fading_config(), rng);
+  if (serving_ >= 0) {
+    out.radio = data::RadioType::kNrMmWave;
+    out.serving_index = serving_;
+    out.cell_id = panels[static_cast<std::size_t>(serving_)].id;
+    // Beam-tracking inertia: the rate converges to the link capacity over
+    // a few seconds. Reset on (re)attach.
+    const double link_cap = cap[static_cast<std::size_t>(serving_)];
+    if (smoothed_cap_ < 0.0 || out.horizontal_handoff ||
+        out.vertical_handoff) {
+      smoothed_cap_ = link_cap;
+    } else {
+      smoothed_cap_ = cfg_.beam_ema_alpha * link_cap +
+                      (1.0 - cfg_.beam_ema_alpha) * smoothed_cap_;
+    }
+    const double shared = smoothed_cap_ / static_cast<double>(n_sharing_ues);
+    out.serving_capacity_mbps = shared;
+    out.throughput_mbps =
+        shared * fast * (outage ? cfg_.handoff_outage_factor : 1.0);
+  } else {
+    smoothed_cap_ = -1.0;
+    out.radio = data::RadioType::kLte;
+    out.serving_index = -1;
+    out.cell_id = -1000;
+    const double lte_cap = env_.lte().capacity(ue.pos, rng);
+    out.serving_capacity_mbps = lte_cap;
+    out.throughput_mbps =
+        lte_cap * (outage ? cfg_.handoff_outage_factor : 1.0);
+  }
+  ever_attached_ = true;
+  out.throughput_mbps =
+      std::clamp(out.throughput_mbps, 0.0, cfg_.ue_max_mbps);
+  return out;
+}
+
+}  // namespace lumos::sim

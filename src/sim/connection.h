@@ -1,0 +1,74 @@
+// Per-UE connection state machine: serving-panel selection with hysteresis,
+// horizontal (panel-to-panel) handoffs with momentary outage, and vertical
+// handoffs to/from the LTE fallback layer — the mechanisms behind the
+// handoff patches visible in the paper's throughput maps (Figs. 1, 2, 9).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/sample.h"
+#include "sim/environment.h"
+
+namespace lumos::sim {
+
+struct ConnectionConfig {
+  /// Candidate must beat the serving panel's capacity by this factor, for
+  /// `handoff_eval_s` consecutive seconds, before a horizontal handoff.
+  double handoff_hysteresis = 1.35;
+  int handoff_eval_s = 2;
+  /// Throughput factor retained during a handoff second.
+  double handoff_outage_factor = 0.06;
+  /// Below this 5G capacity the UE falls back to LTE.
+  double lte_fallback_mbps = 25.0;
+  /// Best 5G capacity must exceed this, for `nr_reentry_delay_s` seconds,
+  /// to return from LTE to 5G.
+  double nr_reentry_mbps = 70.0;
+  int nr_reentry_delay_s = 3;
+  /// UE modem ceiling: commercial mmWave UEs top out near 2 Gbps
+  /// (paper §1: "up to 2 Gbps").
+  double ue_max_mbps = 2000.0;
+  /// Beam-tracking inertia: the realized rate follows the instantaneous
+  /// link capacity through an exponential moving average (beam adaptation
+  /// takes a few seconds after geometry changes). This gives throughput a
+  /// short predictable memory — the temporal structure Seq2Seq and the
+  /// C-group's past-throughput features exploit (paper §6.2).
+  double beam_ema_alpha = 0.45;
+};
+
+/// The per-second outcome of the connection state machine.
+struct TickResult {
+  data::RadioType radio = data::RadioType::kNrMmWave;
+  int cell_id = -1;           ///< serving panel id (5G) or -1000 (LTE cell)
+  int serving_index = -1;     ///< index into env.panels() when on 5G
+  double throughput_mbps = 0.0;
+  double serving_capacity_mbps = 0.0;  ///< pre-outage shared capacity
+  bool horizontal_handoff = false;
+  bool vertical_handoff = false;
+};
+
+class ConnectionManager {
+ public:
+  ConnectionManager(const Environment& env, Rng& rng,
+                    ConnectionConfig cfg = {});
+
+  /// Advances one second. `n_sharing_ues` is the number of UEs actively
+  /// saturating the same serving panel (>=1), modelling the airtime split
+  /// measured in paper A.1.4.
+  TickResult tick(const UEContext& ue, Rng& rng, int n_sharing_ues = 1);
+
+  const ConnectionConfig& config() const noexcept { return cfg_; }
+
+ private:
+  const Environment& env_;
+  ConnectionConfig cfg_;
+  std::vector<ShadowingProcess> shadowing_;  ///< one per panel
+  int serving_ = -1;           ///< panel index; -1 = LTE / unattached
+  bool ever_attached_ = false;
+  int switch_candidate_ = -1;
+  int switch_streak_ = 0;
+  int reentry_streak_ = 0;
+  double smoothed_cap_ = -1.0;  ///< beam-tracking EMA; <0 = uninitialized
+};
+
+}  // namespace lumos::sim

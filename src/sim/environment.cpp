@@ -1,0 +1,18 @@
+#include "sim/environment.h"
+
+namespace lumos::sim {
+
+bool Environment::in_reflective_zone(geo::Vec2 pos) const noexcept {
+  for (const auto& z : zones_) {
+    if (geo::distance(pos, z.center) <= z.radius_m) return true;
+  }
+  return false;
+}
+
+double Environment::mean_capacity(std::size_t i,
+                                  const UEContext& ue) const noexcept {
+  return prop_.mean_capacity(panels_[i], ue, walls_,
+                             in_reflective_zone(ue.pos));
+}
+
+}  // namespace lumos::sim

@@ -1,0 +1,11 @@
+#include "sim/fading.h"
+
+namespace lumos::sim {
+
+double fast_fading(const FadingConfig& cfg, Rng& rng) noexcept {
+  // Mean-one log-normal: exp(N(-sigma^2/2, sigma)).
+  const double s = cfg.fast_sigma;
+  return rng.lognormal(-0.5 * s * s, s);
+}
+
+}  // namespace lumos::sim

@@ -1,0 +1,30 @@
+#include "sim/lte.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumos::sim {
+
+double LteModel::mean_capacity(geo::Vec2 pos) const noexcept {
+  // A smooth pseudo-random field: sum of a few fixed sinusoids whose
+  // phases derive from the seed. Deterministic in space, so repeated
+  // passes over a trajectory see the same 4G levels (the property paper
+  // A.4 relies on).
+  const double s1 = static_cast<double>(seed_ % 1000) * 0.013;
+  const double s2 = static_cast<double>((seed_ / 1000) % 1000) * 0.007;
+  const double k = 2.0 * 3.14159265358979323846 / cfg_.field_scale_m;
+  const double f = 0.5 * std::sin(k * pos.x + s1) +
+                   0.35 * std::sin(k * 1.7 * pos.y + s2) +
+                   0.15 * std::sin(k * 0.6 * (pos.x + pos.y) + s1 + s2);
+  // f in ~[-1, 1] -> scale around the median.
+  const double cap = cfg_.median_mbps * (1.0 + 0.55 * f);
+  return std::clamp(cap, cfg_.min_mbps, cfg_.max_mbps);
+}
+
+double LteModel::capacity(geo::Vec2 pos, Rng& rng) const noexcept {
+  const double s = cfg_.noise_sigma;
+  const double jitter = rng.lognormal(-0.5 * s * s, s);
+  return std::clamp(mean_capacity(pos) * jitter, cfg_.min_mbps, cfg_.max_mbps);
+}
+
+}  // namespace lumos::sim

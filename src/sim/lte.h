@@ -1,0 +1,40 @@
+// 4G LTE fallback model. LTE is omnidirectional, far less sensitive to
+// environment and mobility than mmWave (paper A.4 shows location-based
+// models predict 4G an order of magnitude better than 5G), so its capacity
+// is modeled as a smooth location-dependent field with mild noise.
+#pragma once
+
+#include "common/rng.h"
+#include "geo/local_frame.h"
+
+namespace lumos::sim {
+
+struct LteConfig {
+  double median_mbps = 95.0;
+  double min_mbps = 20.0;
+  double max_mbps = 220.0;
+  /// Spatial variation scale: capacity varies smoothly over ~this many m.
+  double field_scale_m = 120.0;
+  double noise_sigma = 0.10;  ///< per-second log-normal jitter
+};
+
+/// Deterministic smooth capacity field plus small temporal noise.
+class LteModel {
+ public:
+  explicit LteModel(LteConfig cfg = {}, std::uint64_t field_seed = 99) noexcept
+      : cfg_(cfg), seed_(field_seed) {}
+
+  /// Location-dependent mean capacity (no temporal noise).
+  double mean_capacity(geo::Vec2 pos) const noexcept;
+
+  /// Per-second realized capacity.
+  double capacity(geo::Vec2 pos, Rng& rng) const noexcept;
+
+  const LteConfig& config() const noexcept { return cfg_; }
+
+ private:
+  LteConfig cfg_;
+  std::uint64_t seed_;
+};
+
+}  // namespace lumos::sim

@@ -1,0 +1,133 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumos::sim {
+
+double Trajectory::length_m() const noexcept {
+  double len = 0.0;
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    len += geo::distance(waypoints[i - 1], waypoints[i]);
+  }
+  return len;
+}
+
+MotionSimulator::MotionSimulator(const Trajectory& traj,
+                                 const MotionConfig& cfg,
+                                 std::vector<geo::Vec2> stop_points, Rng& rng)
+    : traj_(traj), cfg_(cfg), stop_points_(std::move(stop_points)) {
+  stop_armed_.assign(stop_points_.size(), true);
+  // Randomly disarm "green light" stops for this pass.
+  for (std::size_t i = 0; i < stop_armed_.size(); ++i) {
+    if (!rng.bernoulli(cfg_.stop_probability)) stop_armed_[i] = false;
+  }
+  retarget_speed(rng);
+  speed_mps_ = cfg_.mode == data::Activity::kDriving ? 0.0 : target_speed_mps_;
+  finished_ = traj_.waypoints.size() < 2;
+}
+
+double MotionSimulator::segment_heading() const noexcept {
+  const std::size_t i = std::min(seg_, traj_.waypoints.size() - 2);
+  return geo::bearing_of(traj_.waypoints[i + 1] - traj_.waypoints[i]);
+}
+
+void MotionSimulator::retarget_speed(Rng& rng) {
+  if (cfg_.mode == data::Activity::kDriving) {
+    target_speed_mps_ =
+        rng.uniform(cfg_.drive_cruise_kmph_min, cfg_.drive_cruise_kmph_max) /
+        3.6;
+  } else {
+    target_speed_mps_ = std::clamp(
+        rng.normal(cfg_.walk_speed_mps, cfg_.walk_speed_jitter), 0.5, 2.2);
+  }
+}
+
+MotionSample MotionSimulator::step(Rng& rng) {
+  MotionSample out;
+  if (finished_) {
+    out.pos = traj_.waypoints.back();
+    out.heading_deg = segment_heading();
+    out.finished = true;
+    return out;
+  }
+
+  // Dwell at a stop (driving only).
+  if (stop_wait_s_ > 0.0) {
+    stop_wait_s_ -= 1.0;
+    speed_mps_ = 0.0;
+    const std::size_t i = std::min(seg_, traj_.waypoints.size() - 2);
+    const geo::Vec2 dir = geo::unit_from_bearing(segment_heading());
+    out.pos = traj_.waypoints[i] + dir * seg_offset_m_;
+    out.heading_deg = segment_heading();
+    out.speed_mps = 0.0;
+    return out;
+  }
+
+  // Speed dynamics.
+  if (cfg_.mode == data::Activity::kDriving) {
+    // Occasionally re-pick the cruise speed (traffic flow).
+    if (rng.bernoulli(0.03)) retarget_speed(rng);
+    if (speed_mps_ < target_speed_mps_) {
+      speed_mps_ = std::min(target_speed_mps_, speed_mps_ + cfg_.accel_mps2);
+    } else {
+      speed_mps_ = std::max(target_speed_mps_, speed_mps_ - cfg_.accel_mps2);
+    }
+  } else {
+    if (rng.bernoulli(0.08)) retarget_speed(rng);
+    speed_mps_ = std::clamp(
+        speed_mps_ + rng.normal(0.0, 0.1) +
+            0.3 * (target_speed_mps_ - speed_mps_),
+        0.0, 2.2);
+  }
+
+  // Advance along the polyline.
+  double remaining = speed_mps_;  // 1-second step
+  while (remaining > 0.0 && !finished_) {
+    const geo::Vec2 a = traj_.waypoints[seg_];
+    const geo::Vec2 b = traj_.waypoints[seg_ + 1];
+    const double seg_len = geo::distance(a, b);
+    const double left = seg_len - seg_offset_m_;
+    if (remaining < left) {
+      seg_offset_m_ += remaining;
+      remaining = 0.0;
+    } else {
+      remaining -= left;
+      seg_offset_m_ = 0.0;
+      ++seg_;
+      if (seg_ + 1 >= traj_.waypoints.size()) {
+        finished_ = true;
+        seg_ = traj_.waypoints.size() - 2;
+        seg_offset_m_ = geo::distance(traj_.waypoints[seg_],
+                                      traj_.waypoints[seg_ + 1]);
+      }
+    }
+  }
+
+  const geo::Vec2 a = traj_.waypoints[seg_];
+  const geo::Vec2 b = traj_.waypoints[seg_ + 1];
+  const double seg_len = std::max(1e-9, geo::distance(a, b));
+  const geo::Vec2 dir = (b - a) * (1.0 / seg_len);
+  out.pos = a + dir * seg_offset_m_;
+  out.heading_deg = segment_heading();
+  out.speed_mps = speed_mps_;
+  out.finished = finished_;
+
+  // Check scripted stop points (driving only).
+  if (cfg_.mode == data::Activity::kDriving && stop_wait_s_ <= 0.0) {
+    for (std::size_t i = 0; i < stop_points_.size(); ++i) {
+      if (stop_armed_[i] &&
+          geo::distance(out.pos, stop_points_[i]) <= cfg_.stop_radius_m) {
+        stop_armed_[i] = false;
+        stop_wait_s_ = std::max(2.0, rng.exponential(
+                                         1.0 / cfg_.stop_duration_mean_s));
+        speed_mps_ = 0.0;
+        out.speed_mps = 0.0;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lumos::sim

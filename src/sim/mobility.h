@@ -1,0 +1,75 @@
+// Trajectories and motion profiles. A trajectory is a polyline in local
+// meters; a motion profile turns it into a per-second sequence of
+// (position, heading, speed) — walking at pedestrian pace with natural
+// jitter, or driving with acceleration, cruise and scripted stop points
+// (traffic lights / rail crossings on the paper's Loop area).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/sample.h"
+#include "geo/local_frame.h"
+
+namespace lumos::sim {
+
+struct Trajectory {
+  int id = 0;
+  std::string name;
+  std::vector<geo::Vec2> waypoints;
+
+  double length_m() const noexcept;
+};
+
+struct MotionConfig {
+  data::Activity mode = data::Activity::kWalking;
+  // Walking parameters.
+  double walk_speed_mps = 1.4;
+  double walk_speed_jitter = 0.25;
+  // Driving parameters.
+  double drive_cruise_kmph_min = 25.0;
+  double drive_cruise_kmph_max = 45.0;
+  double accel_mps2 = 1.8;
+  double stop_radius_m = 12.0;
+  double stop_probability = 0.6;       ///< chance a stop point is "red"
+  double stop_duration_mean_s = 12.0;
+};
+
+/// A point on the trajectory at one second boundary.
+struct MotionSample {
+  geo::Vec2 pos;
+  double heading_deg = 0.0;  ///< true direction of travel
+  double speed_mps = 0.0;    ///< true ground speed
+  bool finished = false;
+};
+
+/// Walks/drives a trajectory one simulated second at a time.
+class MotionSimulator {
+ public:
+  MotionSimulator(const Trajectory& traj, const MotionConfig& cfg,
+                  std::vector<geo::Vec2> stop_points, Rng& rng);
+
+  /// Advances one second. Returns the state at the *new* time.
+  MotionSample step(Rng& rng);
+
+  bool finished() const noexcept { return finished_; }
+
+ private:
+  double segment_heading() const noexcept;
+  void retarget_speed(Rng& rng);
+
+  const Trajectory& traj_;
+  MotionConfig cfg_;
+  std::vector<geo::Vec2> stop_points_;
+  std::vector<bool> stop_armed_;  ///< stop point not yet consumed
+  std::size_t seg_ = 0;           ///< current segment index
+  double seg_offset_m_ = 0.0;     ///< distance along current segment
+  double speed_mps_ = 0.0;
+  double target_speed_mps_ = 0.0;
+  double stop_wait_s_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace lumos::sim

@@ -1,0 +1,48 @@
+#include "sim/obstacle.h"
+
+#include <algorithm>
+
+namespace lumos::sim {
+namespace {
+
+int orientation(geo::Vec2 a, geo::Vec2 b, geo::Vec2 c) noexcept {
+  const double v = geo::cross(b - a, c - a);
+  if (v > 1e-12) return 1;
+  if (v < -1e-12) return -1;
+  return 0;
+}
+
+bool on_segment(geo::Vec2 a, geo::Vec2 b, geo::Vec2 p) noexcept {
+  return std::min(a.x, b.x) - 1e-12 <= p.x && p.x <= std::max(a.x, b.x) + 1e-12 &&
+         std::min(a.y, b.y) - 1e-12 <= p.y && p.y <= std::max(a.y, b.y) + 1e-12;
+}
+
+}  // namespace
+
+bool segments_intersect(geo::Vec2 p1, geo::Vec2 p2, geo::Vec2 q1,
+                        geo::Vec2 q2) noexcept {
+  const int o1 = orientation(p1, p2, q1);
+  const int o2 = orientation(p1, p2, q2);
+  const int o3 = orientation(q1, q2, p1);
+  const int o4 = orientation(q1, q2, p2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(p1, p2, q1)) return true;
+  if (o2 == 0 && on_segment(p1, p2, q2)) return true;
+  if (o3 == 0 && on_segment(q1, q2, p1)) return true;
+  if (o4 == 0 && on_segment(q1, q2, p2)) return true;
+  return false;
+}
+
+double path_penetration(const std::vector<Wall>& walls, geo::Vec2 from,
+                        geo::Vec2 to) noexcept {
+  double factor = 1.0;
+  for (const Wall& w : walls) {
+    if (segments_intersect(from, to, w.a, w.b)) {
+      factor *= w.penetration;
+      if (factor <= 1e-6) return 0.0;
+    }
+  }
+  return factor;
+}
+
+}  // namespace lumos::sim

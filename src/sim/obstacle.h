@@ -1,0 +1,33 @@
+// Obstacles are wall segments with a penetration attenuation. mmWave
+// signals are blocked by concrete, tinted glass and bodies (paper §2.1,
+// footnote 2); a blocked path may still be served by environmental
+// reflections at reduced rate (§4.4's "outlier" observation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/local_frame.h"
+
+namespace lumos::sim {
+
+struct Wall {
+  geo::Vec2 a;
+  geo::Vec2 b;
+  /// Linear capacity factor retained when the direct path crosses this wall
+  /// (0 = fully opaque concrete, 0.3 = light partition/booth).
+  double penetration = 0.0;
+  std::string label;
+};
+
+/// True if segments (p1,p2) and (q1,q2) properly intersect (shared
+/// endpoints count as intersection).
+bool segments_intersect(geo::Vec2 p1, geo::Vec2 p2, geo::Vec2 q1,
+                        geo::Vec2 q2) noexcept;
+
+/// Product of penetration factors over every wall crossed by the segment
+/// from `from` to `to`; 1.0 when the path is clear (LoS).
+double path_penetration(const std::vector<Wall>& walls, geo::Vec2 from,
+                        geo::Vec2 to) noexcept;
+
+}  // namespace lumos::sim

@@ -1,0 +1,17 @@
+// A 5G mmWave panel (transceiver face). Real deployments observed in the
+// paper had 1-3 panels per tower, each covering one facing direction
+// (§3.1, footnote 4).
+#pragma once
+
+#include "geo/local_frame.h"
+
+namespace lumos::sim {
+
+struct Panel {
+  int id = 0;
+  geo::Vec2 pos;            ///< local meters
+  double bearing_deg = 0.0; ///< compass direction the face points toward
+  double peak_mbps = 1900.0;///< best-case single-UE capacity at close range
+};
+
+}  // namespace lumos::sim

@@ -1,0 +1,89 @@
+#include "sim/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.h"
+
+namespace lumos::sim {
+namespace {
+
+/// Smoothstep on [lo, hi]: 0 below lo, 1 above hi.
+double smoothstep(double x, double lo, double hi) noexcept {
+  if (x <= lo) return 0.0;
+  if (x >= hi) return 1.0;
+  const double t = (x - lo) / (hi - lo);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+}  // namespace
+
+LinkGeometry link_geometry(const Panel& panel, const UEContext& ue) noexcept {
+  LinkGeometry g;
+  const geo::Vec2 rel = ue.pos - panel.pos;
+  g.distance_m = geo::length(rel);
+  const double to_ue_bearing =
+      g.distance_m > 1e-9 ? geo::bearing_of(rel) : panel.bearing_deg;
+  g.theta_p_deg = geo::positional_angle(panel.bearing_deg, to_ue_bearing);
+  g.theta_m_deg = geo::mobility_angle(panel.bearing_deg, ue.heading_deg);
+  return g;
+}
+
+double PropagationModel::distance_capacity(double distance_m,
+                                           double peak) const noexcept {
+  const double ratio = distance_m / cfg_.half_capacity_distance_m;
+  return peak / (1.0 + std::pow(ratio, cfg_.distance_exponent));
+}
+
+double PropagationModel::positional_gain(double theta_p_deg) const noexcept {
+  if (theta_p_deg <= cfg_.beam_full_gain_deg) return 1.0;
+  if (theta_p_deg >= 150.0) return cfg_.back_lobe_gain;
+  // Smooth falloff between the main lobe edge and the back of the panel.
+  const double t = smoothstep(theta_p_deg, cfg_.beam_full_gain_deg, 150.0);
+  return 1.0 - (1.0 - cfg_.back_lobe_gain) * t;
+}
+
+double PropagationModel::body_blockage(double theta_m_deg,
+                                       data::Activity mode) const noexcept {
+  // Only hand-held (walking/still) UEs suffer body blockage; in a car the
+  // vehicle factor dominates instead. theta_m == 0 means the user moves in
+  // the panel's facing direction, i.e. walks away with the body between
+  // UE and panel (paper §4.4).
+  if (mode == data::Activity::kDriving) return 1.0;
+  const double t =
+      smoothstep(theta_m_deg, cfg_.body_block_full_deg, cfg_.body_block_none_deg);
+  return cfg_.body_blockage_factor + (1.0 - cfg_.body_blockage_factor) * t;
+}
+
+double PropagationModel::vehicle_factor(double speed_mps,
+                                        data::Activity mode) const noexcept {
+  if (mode != data::Activity::kDriving) return 1.0;
+  const double kmph = speed_mps * 3.6;
+  // Below ~5 kmph (stoplights, stop signs) the link behaves almost like a
+  // stationary UE behind glass; above that, beam tracking struggles
+  // (paper Fig. 14a shows the cliff past 5 kmph).
+  const double pen = cfg_.vehicle_penetration;
+  if (kmph <= 5.0) return std::min(1.0, pen * 2.4);
+  const double speed_term =
+      1.0 - cfg_.driving_speed_penalty_per_kmph * (kmph - 5.0);
+  return pen * std::max(cfg_.driving_speed_penalty_floor, speed_term);
+}
+
+double PropagationModel::mean_capacity(const Panel& panel, const UEContext& ue,
+                                       const std::vector<Wall>& walls,
+                                       bool reflective) const noexcept {
+  const LinkGeometry g = link_geometry(panel, ue);
+  const double base = distance_capacity(g.distance_m, panel.peak_mbps);
+  const double gain = positional_gain(g.theta_p_deg);
+  double blockage = body_blockage(g.theta_m_deg, ue.mode) *
+                    path_penetration(walls, ue.pos, panel.pos);
+  if (reflective) {
+    // Reflections off surrounding structures keep a floor under the
+    // obstruction losses (paper §4.4's high-throughput NLoS outlier).
+    blockage = std::max(blockage, cfg_.reflection_floor);
+  }
+  const double vehicle = vehicle_factor(ue.speed_mps, ue.mode);
+  return base * gain * blockage * vehicle;
+}
+
+}  // namespace lumos::sim

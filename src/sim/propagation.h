@@ -1,0 +1,81 @@
+// Deterministic part of the mmWave link model: how much capacity a panel
+// can offer a UE given geometry, obstacles, body blockage and vehicle
+// penetration. Implements the UE-side effects the paper measures in §4:
+//   distance decay (§4.3), positional-angle gain (§4.5), mobility-angle
+//   body blockage (§4.4), speed/vehicle degradation (§4.6), NLoS with
+//   environmental reflection (§4.3-§4.4).
+#pragma once
+
+#include <vector>
+
+#include "data/sample.h"
+#include "sim/obstacle.h"
+#include "sim/panel.h"
+
+namespace lumos::sim {
+
+struct PropagationConfig {
+  double half_capacity_distance_m = 110.0;  ///< d where free-path cap halves
+  double distance_exponent = 2.6;
+  /// Front-lobe half width (deg) of full antenna gain.
+  double beam_full_gain_deg = 35.0;
+  /// Residual gain directly behind the panel.
+  double back_lobe_gain = 0.02;
+  /// Capacity factor when the user's body blocks LoS (walking away,
+  /// theta_m near 0 for a hand-held UE).
+  double body_blockage_factor = 0.25;
+  /// theta_m below which blockage is maximal / above which it is absent.
+  double body_block_full_deg = 55.0;
+  double body_block_none_deg = 130.0;
+  /// Vehicle body/windshield penetration while driving.
+  double vehicle_penetration = 0.38;
+  /// Additional per-kmph beam-tracking penalty while driving.
+  double driving_speed_penalty_per_kmph = 0.024;
+  double driving_speed_penalty_floor = 0.12;
+  /// Floor factor salvaged by environmental reflections when the direct
+  /// path is blocked but reflective surfaces exist around the UE.
+  double reflection_floor = 0.22;
+};
+
+struct UEContext {
+  geo::Vec2 pos;
+  double heading_deg = 0.0;     ///< direction of travel
+  double speed_mps = 0.0;
+  data::Activity mode = data::Activity::kWalking;
+};
+
+/// Geometry of a UE w.r.t. one panel.
+struct LinkGeometry {
+  double distance_m = 0.0;
+  double theta_p_deg = 0.0;  ///< positional angle (0 = dead ahead of panel)
+  double theta_m_deg = 0.0;  ///< mobility angle (paper convention)
+};
+
+LinkGeometry link_geometry(const Panel& panel, const UEContext& ue) noexcept;
+
+class PropagationModel {
+ public:
+  explicit PropagationModel(PropagationConfig cfg = {}) noexcept : cfg_(cfg) {}
+
+  /// Mean achievable capacity (Mbps) of `panel` for `ue`, before fading and
+  /// airtime sharing. `reflective` marks zones where NLoS paths can be
+  /// salvaged by reflections.
+  double mean_capacity(const Panel& panel, const UEContext& ue,
+                       const std::vector<Wall>& walls,
+                       bool reflective) const noexcept;
+
+  /// Individual factors, exposed for tests and ablation benches.
+  double distance_capacity(double distance_m, double peak) const noexcept;
+  double positional_gain(double theta_p_deg) const noexcept;
+  double body_blockage(double theta_m_deg,
+                       data::Activity mode) const noexcept;
+  double vehicle_factor(double speed_mps,
+                        data::Activity mode) const noexcept;
+
+  const PropagationConfig& config() const noexcept { return cfg_; }
+
+ private:
+  PropagationConfig cfg_;
+};
+
+}  // namespace lumos::sim

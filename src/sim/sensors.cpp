@@ -1,0 +1,48 @@
+#include "sim/sensors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.h"
+
+namespace lumos::sim {
+
+SensorModel::SensorModel(const SensorConfig& cfg, Rng& rng) : cfg_(cfg) {
+  gps_sigma_m_ = rng.bernoulli(cfg.gps_bad_run_prob)
+                     ? cfg.gps_bad_sigma_m
+                     : rng.uniform(cfg.gps_sigma_min_m, cfg.gps_sigma_max_m);
+}
+
+SensorReading SensorModel::observe(const MotionSample& truth,
+                                   data::Activity true_mode,
+                                   const geo::LocalFrame& frame,
+                                   Rng& rng) const {
+  SensorReading r;
+  const geo::Vec2 noisy_pos{truth.pos.x + rng.normal(0.0, gps_sigma_m_),
+                            truth.pos.y + rng.normal(0.0, gps_sigma_m_)};
+  const geo::LatLon ll = frame.to_geo(noisy_pos);
+  r.latitude = ll.lat_deg;
+  r.longitude = ll.lon_deg;
+  // Reported accuracy tracks the real error scale with optimism jitter,
+  // like Android's Location#getAccuracy.
+  r.gps_accuracy_m =
+      std::max(0.5, gps_sigma_m_ * (1.0 + rng.normal(0.0, 0.15)));
+
+  r.compass_deg = geo::norm360(truth.heading_deg +
+                               rng.normal(0.0, cfg_.compass_sigma_deg));
+  r.compass_accuracy = cfg_.compass_sigma_deg;
+
+  r.speed_mps =
+      std::max(0.0, truth.speed_mps + rng.normal(0.0, cfg_.speed_sigma_mps));
+
+  if (rng.bernoulli(cfg_.activity_error_prob)) {
+    r.activity = data::Activity::kStill;  // common misdetection
+  } else if (true_mode == data::Activity::kWalking && truth.speed_mps < 0.2) {
+    r.activity = data::Activity::kStill;
+  } else {
+    r.activity = true_mode;
+  }
+  return r;
+}
+
+}  // namespace lumos::sim

@@ -1,0 +1,52 @@
+// Android-like sensor observation model: GPS fixes with noise and a
+// reported accuracy, compass readings with drift, speed readings, and
+// activity recognition — the imperfections the paper's data-quality rules
+// (§3.1) are designed to contain.
+#pragma once
+
+#include "common/rng.h"
+#include "data/sample.h"
+#include "geo/local_frame.h"
+#include "sim/mobility.h"
+
+namespace lumos::sim {
+
+struct SensorConfig {
+  /// Per-run GPS error scale is drawn uniformly from this range (m).
+  double gps_sigma_min_m = 1.2;
+  double gps_sigma_max_m = 3.5;
+  /// Probability a run is a "bad GPS day" with error well above the paper's
+  /// 5 m cleaning threshold (those runs get discarded by Dataset::clean).
+  double gps_bad_run_prob = 0.04;
+  double gps_bad_sigma_m = 9.0;
+  double compass_sigma_deg = 4.0;
+  double speed_sigma_mps = 0.12;
+  double activity_error_prob = 0.02;
+};
+
+/// What the measurement app records from the platform APIs each second.
+struct SensorReading {
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double gps_accuracy_m = 0.0;
+  double compass_deg = 0.0;
+  double compass_accuracy = 0.0;
+  double speed_mps = 0.0;
+  data::Activity activity = data::Activity::kStill;
+};
+
+class SensorModel {
+ public:
+  SensorModel(const SensorConfig& cfg, Rng& rng);
+
+  SensorReading observe(const MotionSample& truth, data::Activity true_mode,
+                        const geo::LocalFrame& frame, Rng& rng) const;
+
+  double run_gps_sigma() const noexcept { return gps_sigma_m_; }
+
+ private:
+  SensorConfig cfg_;
+  double gps_sigma_m_ = 1.0;  ///< this run's GPS quality
+};
+
+}  // namespace lumos::sim

@@ -1,0 +1,18 @@
+// Correlation measures. Spearman's rank correlation quantifies the
+// monotone-trend similarity between throughput traces along a trajectory
+// (paper §4.2, Fig. 10).
+#pragma once
+
+#include <span>
+
+namespace lumos::stats {
+
+/// Pearson product-moment correlation in [-1, 1]. Returns 0 if either
+/// sample is constant or sizes mismatch.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Spearman's rank correlation coefficient: Pearson correlation of the
+/// (tie-averaged) ranks.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace lumos::stats

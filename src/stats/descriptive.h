@@ -1,0 +1,53 @@
+// Descriptive statistics used throughout paper §4: mean, variance,
+// coefficient of variation (CV), quantiles and five-number summaries.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lumos::stats {
+
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample variance with Bessel's correction (n-1 denominator).
+double variance(std::span<const double> xs) noexcept;
+
+double stddev(std::span<const double> xs) noexcept;
+
+/// Coefficient of variation = stddev / mean. Returns 0 for empty input or
+/// zero mean.
+double coefficient_of_variation(std::span<const double> xs) noexcept;
+
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated quantile, q in [0, 1]. Input need not be sorted.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Box-plot style summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Skewness (g1, biased estimator as used by the D'Agostino test input).
+double skewness(std::span<const double> xs) noexcept;
+
+/// Excess kurtosis is kurtosis(xs) - 3; this returns plain kurtosis (b2).
+double kurtosis(std::span<const double> xs) noexcept;
+
+/// Ranks of the values (average ranks for ties), 1-based, as used by the
+/// Spearman correlation.
+std::vector<double> ranks(std::span<const double> xs);
+
+}  // namespace lumos::stats

@@ -1,0 +1,55 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumos::stats {
+
+std::vector<HistogramBin> histogram(std::span<const double> xs, int bins) {
+  std::vector<HistogramBin> out;
+  if (xs.empty() || bins <= 0) return out;
+  const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *mn_it, hi = *mx_it;
+  if (lo == hi) hi = lo + 1.0;  // degenerate: single bucket of width 1
+  const double width = (hi - lo) / bins;
+  out.resize(static_cast<std::size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    out[static_cast<std::size_t>(b)].lo = lo + b * width;
+    out[static_cast<std::size_t>(b)].hi = lo + (b + 1) * width;
+  }
+  for (double x : xs) {
+    auto b = static_cast<std::size_t>((x - lo) / width);
+    if (b >= out.size()) b = out.size() - 1;
+    ++out[b].count;
+  }
+  return out;
+}
+
+double ecdf_at(std::span<const double> xs, double x) noexcept {
+  if (xs.empty()) return 0.0;
+  std::size_t c = 0;
+  for (double v : xs) {
+    if (v <= x) ++c;
+  }
+  return static_cast<double>(c) / static_cast<double>(xs.size());
+}
+
+std::vector<std::pair<double, double>> ecdf_curve(std::span<const double> xs,
+                                                  int points) {
+  std::vector<std::pair<double, double>> curve;
+  if (xs.empty() || points <= 1) return curve;
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  curve.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / (points - 1);
+    const auto idx = static_cast<std::size_t>(
+        std::round(frac * static_cast<double>(s.size() - 1)));
+    curve.emplace_back(s[idx],
+                       static_cast<double>(idx + 1) /
+                           static_cast<double>(s.size()));
+  }
+  return curve;
+}
+
+}  // namespace lumos::stats

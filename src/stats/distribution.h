@@ -1,0 +1,28 @@
+// Histogram and empirical-CDF helpers for rendering the paper's CDF plots
+// (Figs. 7b and 17) in text form.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace lumos::stats {
+
+struct HistogramBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t count = 0;
+};
+
+/// Uniform-width histogram with `bins` buckets covering [min, max].
+std::vector<HistogramBin> histogram(std::span<const double> xs, int bins);
+
+/// Empirical CDF evaluated at `x`: fraction of samples <= x.
+double ecdf_at(std::span<const double> xs, double x) noexcept;
+
+/// Samples the empirical CDF at `points` evenly spaced quantile positions;
+/// returns (value, cumulative fraction) pairs, useful for plotting.
+std::vector<std::pair<double, double>> ecdf_curve(std::span<const double> xs,
+                                                  int points = 100);
+
+}  // namespace lumos::stats

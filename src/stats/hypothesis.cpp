@@ -1,0 +1,93 @@
+#include "stats/hypothesis.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/special_functions.h"
+
+namespace lumos::stats {
+
+TestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  TestResult r;
+  if (a.size() < 2 || b.size() < 2) return r;
+  const double ma = mean(a), mb = mean(b);
+  const double va = variance(a), vb = variance(b);
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  const double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) {
+    r.statistic = (ma == mb) ? 0.0 : std::numeric_limits<double>::infinity();
+    r.p_value = (ma == mb) ? 1.0 : 0.0;
+    return r;
+  }
+  r.statistic = (ma - mb) / std::sqrt(se2);
+  // Welch-Satterthwaite degrees of freedom.
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1.0) +
+                     (vb / nb) * (vb / nb) / (nb - 1.0);
+  const double df = den > 0.0 ? num / den : na + nb - 2.0;
+  r.p_value = t_two_sided_pvalue(r.statistic, df);
+  return r;
+}
+
+TestResult student_t_test(std::span<const double> a, std::span<const double> b) {
+  TestResult r;
+  if (a.size() < 2 || b.size() < 2) return r;
+  const double ma = mean(a), mb = mean(b);
+  const double va = variance(a), vb = variance(b);
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  const double df = na + nb - 2.0;
+  const double sp2 = ((na - 1.0) * va + (nb - 1.0) * vb) / df;
+  const double se = std::sqrt(sp2 * (1.0 / na + 1.0 / nb));
+  if (se <= 0.0) {
+    r.statistic = (ma == mb) ? 0.0 : std::numeric_limits<double>::infinity();
+    r.p_value = (ma == mb) ? 1.0 : 0.0;
+    return r;
+  }
+  r.statistic = (ma - mb) / se;
+  r.p_value = t_two_sided_pvalue(r.statistic, df);
+  return r;
+}
+
+TestResult levene_test(std::span<const double> a, std::span<const double> b,
+                       LeveneCenter center) {
+  TestResult r;
+  if (a.size() < 2 || b.size() < 2) return r;
+  const double ca = center == LeveneCenter::kMean ? mean(a) : median(a);
+  const double cb = center == LeveneCenter::kMean ? mean(b) : median(b);
+
+  std::vector<double> za, zb;
+  za.reserve(a.size());
+  zb.reserve(b.size());
+  for (double x : a) za.push_back(std::fabs(x - ca));
+  for (double x : b) zb.push_back(std::fabs(x - cb));
+
+  const double mza = mean(za), mzb = mean(zb);
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  const double n = na + nb;
+  const double grand = (mza * na + mzb * nb) / n;
+
+  const double between =
+      na * (mza - grand) * (mza - grand) + nb * (mzb - grand) * (mzb - grand);
+  double within = 0.0;
+  for (double z : za) within += (z - mza) * (z - mza);
+  for (double z : zb) within += (z - mzb) * (z - mzb);
+
+  constexpr double k = 2.0;  // two groups
+  const double df1 = k - 1.0;
+  const double df2 = n - k;
+  if (within <= 0.0) {
+    r.statistic = between > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    r.p_value = between > 0.0 ? 0.0 : 1.0;
+    return r;
+  }
+  r.statistic = (df2 / df1) * (between / within);
+  r.p_value = f_upper_pvalue(r.statistic, df1, df2);
+  return r;
+}
+
+}  // namespace lumos::stats

@@ -1,0 +1,28 @@
+// Two-sample hypothesis tests used in paper §4.1/Table 5: pairwise t-test
+// on mean throughput per geolocation and Levene's test on variances.
+#pragma once
+
+#include <span>
+
+namespace lumos::stats {
+
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+};
+
+/// Welch's unequal-variance two-sample t-test (two-sided).
+TestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Pooled-variance Student's two-sample t-test (two-sided).
+TestResult student_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Levene's test for equality of variances between two samples.
+/// `center` selects the classic mean-centered variant or the more robust
+/// Brown-Forsythe median-centered variant.
+enum class LeveneCenter { kMean, kMedian };
+
+TestResult levene_test(std::span<const double> a, std::span<const double> b,
+                       LeveneCenter center = LeveneCenter::kMean);
+
+}  // namespace lumos::stats

@@ -1,0 +1,115 @@
+#include "stats/normality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/special_functions.h"
+
+namespace lumos::stats {
+namespace {
+
+/// Transformed skewness Z-score (D'Agostino 1970).
+double skew_zscore(double g1, double n) noexcept {
+  const double y =
+      g1 * std::sqrt((n + 1.0) * (n + 3.0) / (6.0 * (n - 2.0)));
+  const double beta2 = 3.0 * (n * n + 27.0 * n - 70.0) * (n + 1.0) * (n + 3.0) /
+                       ((n - 2.0) * (n + 5.0) * (n + 7.0) * (n + 9.0));
+  const double w2 = -1.0 + std::sqrt(2.0 * (beta2 - 1.0));
+  const double delta = 1.0 / std::sqrt(0.5 * std::log(w2));
+  const double alpha = std::sqrt(2.0 / (w2 - 1.0));
+  const double ya = y / alpha;
+  return delta * std::log(ya + std::sqrt(ya * ya + 1.0));
+}
+
+/// Transformed kurtosis Z-score (Anscombe & Glynn 1983).
+double kurt_zscore(double b2, double n) noexcept {
+  const double eb2 = 3.0 * (n - 1.0) / (n + 1.0);
+  const double vb2 = 24.0 * n * (n - 2.0) * (n - 3.0) /
+                     ((n + 1.0) * (n + 1.0) * (n + 3.0) * (n + 5.0));
+  const double x = (b2 - eb2) / std::sqrt(vb2);
+  const double beta1 = 6.0 * (n * n - 5.0 * n + 2.0) / ((n + 7.0) * (n + 9.0)) *
+                       std::sqrt(6.0 * (n + 3.0) * (n + 5.0) /
+                                 (n * (n - 2.0) * (n - 3.0)));
+  const double a =
+      6.0 + 8.0 / beta1 * (2.0 / beta1 + std::sqrt(1.0 + 4.0 / (beta1 * beta1)));
+  const double t1 = 1.0 - 2.0 / (9.0 * a);
+  const double denom = 1.0 + x * std::sqrt(2.0 / (a - 4.0));
+  if (denom <= 0.0) return 6.0;  // extreme tail; any large z works
+  const double t2 = std::cbrt((1.0 - 2.0 / a) / denom);
+  return (t1 - t2) / std::sqrt(2.0 / (9.0 * a));
+}
+
+}  // namespace
+
+TestResult dagostino_pearson_test(std::span<const double> xs) {
+  TestResult r;
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 8) return r;  // test undefined for tiny samples
+  if (variance(xs) <= 0.0) {
+    r.statistic = std::numeric_limits<double>::infinity();
+    r.p_value = 0.0;  // constant sample: degenerate, reject
+    return r;
+  }
+  const double zs = skew_zscore(skewness(xs), n);
+  const double zk = kurt_zscore(kurtosis(xs), n);
+  r.statistic = zs * zs + zk * zk;
+  r.p_value = chi2_upper_pvalue(r.statistic, 2.0);
+  return r;
+}
+
+TestResult anderson_darling_test(std::span<const double> xs) {
+  TestResult r;
+  const std::size_t n = xs.size();
+  if (n < 8) return r;
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  if (sd <= 0.0) {
+    r.statistic = std::numeric_limits<double>::infinity();
+    r.p_value = 0.0;
+    return r;
+  }
+  std::vector<double> z(xs.begin(), xs.end());
+  std::sort(z.begin(), z.end());
+  double a2 = 0.0;
+  const auto nd = static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double zi = (z[i] - m) / sd;
+    const double zri = (z[n - 1 - i] - m) / sd;
+    double cdf_i = normal_cdf(zi);
+    double cdf_r = normal_cdf(zri);
+    // Clamp away from 0/1 so the logs stay finite for extreme outliers.
+    cdf_i = std::clamp(cdf_i, 1e-15, 1.0 - 1e-15);
+    cdf_r = std::clamp(cdf_r, 1e-15, 1.0 - 1e-15);
+    a2 += (2.0 * static_cast<double>(i) + 1.0) *
+          (std::log(cdf_i) + std::log(1.0 - cdf_r));
+  }
+  a2 = -nd - a2 / nd;
+  // Small-sample adjustment for estimated parameters (case 3).
+  const double a2_star = a2 * (1.0 + 0.75 / nd + 2.25 / (nd * nd));
+  r.statistic = a2_star;
+  // Piecewise p-value approximation (D'Agostino & Stephens 1986, Table 4.9).
+  double p;
+  if (a2_star >= 0.6) {
+    p = std::exp(1.2937 - 5.709 * a2_star + 0.0186 * a2_star * a2_star);
+  } else if (a2_star >= 0.34) {
+    p = std::exp(0.9177 - 4.279 * a2_star - 1.38 * a2_star * a2_star);
+  } else if (a2_star >= 0.2) {
+    p = 1.0 - std::exp(-8.318 + 42.796 * a2_star - 59.938 * a2_star * a2_star);
+  } else {
+    p = 1.0 - std::exp(-13.436 + 101.14 * a2_star - 223.73 * a2_star * a2_star);
+  }
+  r.p_value = std::clamp(p, 0.0, 1.0);
+  return r;
+}
+
+bool is_normal_either(std::span<const double> xs, double alpha) {
+  const TestResult dp = dagostino_pearson_test(xs);
+  if (dp.p_value > alpha) return true;
+  const TestResult ad = anderson_darling_test(xs);
+  return ad.p_value > alpha;
+}
+
+}  // namespace lumos::stats

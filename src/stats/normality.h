@@ -1,0 +1,28 @@
+// Normality tests used in paper §4.1 / A.1.1 to decide whether per-grid
+// throughput samples follow a normal distribution. The paper uses two
+// tests and treats a sample as normal if it passes either:
+//   (1) D'Agostino-Pearson omnibus K^2 test
+//   (2) Anderson-Darling test
+#pragma once
+
+#include <span>
+
+#include "stats/hypothesis.h"
+
+namespace lumos::stats {
+
+/// D'Agostino-Pearson omnibus K^2 normality test. Requires n >= 8.
+/// Returns p-value ~ probability of observing the sample's skew/kurtosis
+/// under normality; small p rejects normality.
+TestResult dagostino_pearson_test(std::span<const double> xs);
+
+/// Anderson-Darling test of normality with estimated mean/variance
+/// (case 3). The returned p-value uses the Stephens (1974)-style
+/// approximation on the small-sample adjusted statistic A*^2.
+TestResult anderson_darling_test(std::span<const double> xs);
+
+/// Paper's rule: normal if either test fails to reject at `alpha`
+/// (significance 0.001 in §4.1).
+bool is_normal_either(std::span<const double> xs, double alpha = 0.001);
+
+}  // namespace lumos::stats

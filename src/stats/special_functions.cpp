@@ -1,0 +1,125 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+namespace lumos::stats {
+namespace {
+
+constexpr int kMaxIter = 300;
+constexpr double kEps = 3.0e-12;
+constexpr double kFpMin = 1.0e-300;
+
+/// Continued-fraction evaluation of the incomplete beta function
+/// (Lentz's algorithm, cf. Numerical Recipes betacf).
+double betacf(double a, double b, double x) noexcept {
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+/// Series expansion of P(a, x) for x < a + 1.
+double gamma_series(double a, double x) noexcept {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < kMaxIter; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+/// Continued fraction for Q(a, x) = 1 - P(a, x) for x >= a + 1.
+double gamma_cf(double a, double x) noexcept {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+}
+
+}  // namespace
+
+double log_gamma(double x) noexcept { return std::lgamma(x); }
+
+double reg_lower_gamma(double a, double x) noexcept {
+  if (x <= 0.0 || a <= 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_series(a, x);
+  return 1.0 - gamma_cf(a, x);
+}
+
+double reg_incomplete_beta(double a, double b, double x) noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double t_two_sided_pvalue(double t, double df) noexcept {
+  if (!std::isfinite(t)) return 0.0;
+  if (df <= 0.0) return 1.0;
+  const double x = df / (df + t * t);
+  return reg_incomplete_beta(df / 2.0, 0.5, x);
+}
+
+double f_upper_pvalue(double f, double df1, double df2) noexcept {
+  if (f <= 0.0) return 1.0;
+  const double x = df2 / (df2 + df1 * f);
+  return reg_incomplete_beta(df2 / 2.0, df1 / 2.0, x);
+}
+
+double chi2_upper_pvalue(double x, double df) noexcept {
+  if (x <= 0.0) return 1.0;
+  return 1.0 - reg_lower_gamma(df / 2.0, x / 2.0);
+}
+
+}  // namespace lumos::stats

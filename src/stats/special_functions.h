@@ -1,0 +1,29 @@
+// Special mathematical functions needed to compute p-values for the
+// statistical tests in paper §4 (t-test, Levene, D'Agostino-Pearson,
+// Anderson-Darling).
+#pragma once
+
+namespace lumos::stats {
+
+/// Natural log of the gamma function (Lanczos approximation).
+double log_gamma(double x) noexcept;
+
+/// Regularized lower incomplete gamma function P(a, x).
+double reg_lower_gamma(double a, double x) noexcept;
+
+/// Regularized incomplete beta function I_x(a, b).
+double reg_incomplete_beta(double a, double b, double x) noexcept;
+
+/// Standard normal CDF.
+double normal_cdf(double z) noexcept;
+
+/// Two-sided p-value of a Student-t statistic with `df` degrees of freedom.
+double t_two_sided_pvalue(double t, double df) noexcept;
+
+/// Upper-tail p-value of an F statistic with (df1, df2) degrees of freedom.
+double f_upper_pvalue(double f, double df1, double df2) noexcept;
+
+/// Upper-tail p-value of a chi-squared statistic with `df` degrees of freedom.
+double chi2_upper_pvalue(double x, double df) noexcept;
+
+}  // namespace lumos::stats

@@ -1,0 +1,115 @@
+// Tests for the crowdsourced map aggregation (paper §8.2 vision).
+#include <gtest/gtest.h>
+
+#include "core/crowd.h"
+#include "sim/areas.h"
+
+namespace lumos::core {
+namespace {
+
+data::Dataset tiny_run(double lat0, double tput, int run_id) {
+  data::Dataset ds;
+  for (int t = 0; t < 20; ++t) {
+    data::SampleRecord s;
+    s.area = "x";
+    s.trajectory_id = 1;
+    s.run_id = run_id;
+    s.timestamp_s = t;
+    s.latitude = lat0 + t * 2e-5;  // ~2.2 m per step
+    s.longitude = -93.2;
+    s.gps_accuracy_m = 1.0;
+    s.throughput_mbps = tput;
+    ds.append(s);
+  }
+  ds.clean(data::CleaningConfig{.buffer_period_s = 0.0});
+  return ds;
+}
+
+TEST(CrowdMap, MergesContributorsPerCell) {
+  Contribution a{tiny_run(44.9800, 100.0, 0), 1.0};
+  Contribution b{tiny_run(44.9800, 300.0, 1), 1.0};
+  const auto map = CrowdMap::build({a, b});
+  ASSERT_FALSE(map.cells().empty());
+  // Overlapping cells should have 2 contributors and a mean between the
+  // two users' levels.
+  bool found_shared = false;
+  for (const auto& [key, c] : map.cells()) {
+    if (c.contributors == 2) {
+      found_shared = true;
+      EXPECT_NEAR(c.mean_mbps, 200.0, 1e-6);
+      EXPECT_GT(c.between_user_cv, 0.1);
+    }
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(CrowdMap, WeightsShiftTheMean) {
+  Contribution a{tiny_run(44.9800, 100.0, 0), 3.0};
+  Contribution b{tiny_run(44.9800, 300.0, 1), 1.0};
+  const auto map = CrowdMap::build({a, b});
+  for (const auto& [key, c] : map.cells()) {
+    if (c.contributors == 2) {
+      // Weighted mean = (3*100 + 1*300)/4 = 150.
+      EXPECT_NEAR(c.mean_mbps, 150.0, 1e-6);
+    }
+  }
+}
+
+TEST(CrowdMap, DisjointUploadsDoNotOverlap) {
+  Contribution a{tiny_run(44.9800, 100.0, 0), 1.0};
+  Contribution b{tiny_run(44.9900, 300.0, 1), 1.0};  // ~1.1 km away
+  const auto map = CrowdMap::build({a, b});
+  for (const auto& [key, c] : map.cells()) {
+    EXPECT_EQ(c.contributors, 1u);
+  }
+  EXPECT_EQ(map.fraction_with_support(2), 0.0);
+  EXPECT_EQ(map.fraction_with_support(1), 1.0);
+}
+
+TEST(CrowdMap, SupportFractionGrowsWithUsers) {
+  std::vector<Contribution> uploads;
+  for (int u = 0; u < 4; ++u) {
+    uploads.push_back({tiny_run(44.9800, 100.0 + 50.0 * u, u), 1.0});
+  }
+  const auto one = CrowdMap::build({uploads[0]});
+  const auto all = CrowdMap::build(uploads);
+  EXPECT_GE(all.fraction_with_support(2), one.fraction_with_support(2));
+  EXPECT_GT(all.fraction_with_support(3), 0.5);
+}
+
+TEST(CrowdMap, EmptyInputIsSafe) {
+  const auto map = CrowdMap::build({});
+  EXPECT_TRUE(map.cells().empty());
+  EXPECT_EQ(map.fraction_with_support(1), 0.0);
+  EXPECT_EQ(map.lookup(0, 0), nullptr);
+}
+
+TEST(CrowdMap, LookupFindsCells) {
+  Contribution a{tiny_run(44.9800, 100.0, 0), 1.0};
+  const auto map = CrowdMap::build({a});
+  const auto& s = a.samples[0];
+  EXPECT_NE(map.lookup(s.pixel_x, s.pixel_y), nullptr);
+}
+
+TEST(CrowdMap, EndToEndWithSimulatedUsers) {
+  const sim::Area area = sim::make_airport();
+  const sim::MeasurementCollector collector(area.env);
+  std::vector<Contribution> uploads;
+  Rng seeder(2);
+  for (int u = 0; u < 3; ++u) {
+    data::Dataset ds;
+    sim::CollectorConfig cfg;
+    cfg.n_runs = 1;
+    sim::MotionConfig walk;
+    collector.collect(area.walking[static_cast<std::size_t>(u) % 2], walk,
+                      {}, cfg, seeder.next_u64(), ds);
+    ds.clean();
+    uploads.push_back({std::move(ds), 1.0});
+  }
+  const auto map = CrowdMap::build(uploads);
+  EXPECT_GT(map.cells().size(), 50u);
+  EXPECT_GT(map.fraction_with_support(2), 0.05);
+}
+
+}  // namespace
+}  // namespace lumos::core

@@ -1,0 +1,248 @@
+// Unit and property tests for lumos::geo — projections, pixelization,
+// distances, bearings, the local tangent frame, UE-panel angles, and grids.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/angles.h"
+#include "geo/coordinates.h"
+#include "geo/grid.h"
+#include "geo/local_frame.h"
+
+namespace lumos::geo {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(Projection, OriginMapsToWorldCenter) {
+  const WorldCoord wc = project({0.0, 0.0});
+  EXPECT_NEAR(wc.x, 128.0, kTol);
+  EXPECT_NEAR(wc.y, 128.0, kTol);
+}
+
+TEST(Projection, LongitudeIsLinearInX) {
+  EXPECT_NEAR(project({0.0, 90.0}).x, 192.0, kTol);
+  EXPECT_NEAR(project({0.0, -90.0}).x, 64.0, kTol);
+  EXPECT_NEAR(project({0.0, -180.0}).x, 0.0, kTol);
+}
+
+TEST(Projection, NorthIsSmallerY) {
+  EXPECT_LT(project({45.0, 0.0}).y, project({0.0, 0.0}).y);
+  EXPECT_GT(project({-45.0, 0.0}).y, project({0.0, 0.0}).y);
+}
+
+TEST(Projection, ClampsPolarLatitudes) {
+  const WorldCoord wc = project({89.9999, 0.0});
+  EXPECT_GE(wc.y, 0.0);
+  EXPECT_LE(wc.y, 256.0);
+}
+
+TEST(Projection, RoundTripMinneapolis) {
+  const LatLon mpls{44.9778, -93.2650};
+  const LatLon back = unproject(project(mpls));
+  EXPECT_NEAR(back.lat_deg, mpls.lat_deg, 1e-9);
+  EXPECT_NEAR(back.lon_deg, mpls.lon_deg, 1e-9);
+}
+
+class ProjectionRoundTrip
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ProjectionRoundTrip, IsLossless) {
+  const auto [lat, lon] = GetParam();
+  const LatLon back = unproject(project({lat, lon}));
+  EXPECT_NEAR(back.lat_deg, lat, 1e-8);
+  EXPECT_NEAR(back.lon_deg, lon, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProjectionRoundTrip,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{44.98, -93.26},
+                      std::pair{-33.86, 151.21}, std::pair{60.17, 24.94},
+                      std::pair{-54.8, -68.3}, std::pair{80.0, 179.5},
+                      std::pair{-80.0, -179.5}, std::pair{1.29, 103.85}));
+
+TEST(Pixelize, Zoom17ResolutionNearMinneapolisIsAboutOneMeter) {
+  const double mpp = meters_per_pixel(44.98, 17);
+  EXPECT_GT(mpp, 0.5);
+  EXPECT_LT(mpp, 1.2);  // paper quotes 0.99-1.19 m over its areas
+}
+
+TEST(Pixelize, EquatorZoom0IsWholeEarth) {
+  // 256 pixels cover the full equator at zoom 0.
+  const double mpp = meters_per_pixel(0.0, 0);
+  EXPECT_NEAR(mpp * 256.0, 2.0 * kPi * kEarthRadiusM, 1.0);
+}
+
+TEST(Pixelize, NearbyPointsShareAPixel) {
+  // Start from a pixel center so a 5 cm move cannot cross the boundary.
+  const LatLon a = pixel_center(pixelize({44.9778, -93.2650}, 17));
+  const LatLon b = destination(a, 90.0, 0.05);  // 5 cm east
+  EXPECT_EQ(pixelize(a, 17), pixelize(b, 17));
+}
+
+TEST(Pixelize, DistantPointsDiffer) {
+  const LatLon a{44.9778, -93.2650};
+  const LatLon b = destination(a, 90.0, 50.0);
+  EXPECT_NE(pixelize(a, 17), pixelize(b, 17));
+}
+
+TEST(Pixelize, PixelCenterRoundTrips) {
+  const PixelCoord px = pixelize({44.9778, -93.2650}, 17);
+  const PixelCoord back = pixelize(pixel_center(px), 17);
+  EXPECT_EQ(px, back);
+}
+
+TEST(Pixelize, HigherZoomRefines) {
+  const LatLon p{44.9778, -93.2650};
+  const PixelCoord z17 = pixelize(p, 17);
+  const PixelCoord z18 = pixelize(p, 18);
+  EXPECT_EQ(z17.x, z18.x / 2);
+  EXPECT_EQ(z17.y, z18.y / 2);
+}
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  EXPECT_NEAR(haversine_m({45.0, -93.0}, {45.0, -93.0}), 0.0, kTol);
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  const double d = haversine_m({44.0, -93.0}, {45.0, -93.0});
+  EXPECT_NEAR(d, 111000.0, 1000.0);
+}
+
+TEST(Haversine, IsSymmetric) {
+  const LatLon a{44.98, -93.26}, b{44.88, -93.20};
+  EXPECT_NEAR(haversine_m(a, b), haversine_m(b, a), 1e-9);
+}
+
+TEST(Bearing, CardinalDirections) {
+  const LatLon o{45.0, -93.0};
+  EXPECT_NEAR(bearing_deg(o, destination(o, 0.0, 100.0)), 0.0, 0.1);
+  EXPECT_NEAR(bearing_deg(o, destination(o, 90.0, 100.0)), 90.0, 0.1);
+  EXPECT_NEAR(bearing_deg(o, destination(o, 180.0, 100.0)), 180.0, 0.1);
+  EXPECT_NEAR(bearing_deg(o, destination(o, 270.0, 100.0)), 270.0, 0.1);
+}
+
+class DestinationRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(DestinationRoundTrip, DistanceAndBearingRecovered) {
+  const double bearing = GetParam();
+  const LatLon o{44.98, -93.26};
+  const LatLon d = destination(o, bearing, 250.0);
+  EXPECT_NEAR(haversine_m(o, d), 250.0, 0.01);
+  EXPECT_NEAR(angular_distance(bearing_deg(o, d), bearing), 0.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(BearingSweep, DestinationRoundTrip,
+                         ::testing::Values(0.0, 30.0, 45.0, 90.0, 135.0,
+                                           180.0, 225.0, 270.0, 315.0,
+                                           359.0));
+
+TEST(Angles, Norm360) {
+  EXPECT_NEAR(norm360(370.0), 10.0, kTol);
+  EXPECT_NEAR(norm360(-10.0), 350.0, kTol);
+  EXPECT_NEAR(norm360(720.0), 0.0, kTol);
+  EXPECT_NEAR(norm360(359.9), 359.9, kTol);
+}
+
+TEST(Angles, Norm180) {
+  EXPECT_NEAR(norm180(190.0), -170.0, kTol);
+  EXPECT_NEAR(norm180(-190.0), 170.0, kTol);
+  EXPECT_NEAR(norm180(180.0), 180.0, kTol);
+}
+
+TEST(Angles, AngularDistanceWrapsCorrectly) {
+  EXPECT_NEAR(angular_distance(350.0, 10.0), 20.0, kTol);
+  EXPECT_NEAR(angular_distance(0.0, 180.0), 180.0, kTol);
+  EXPECT_NEAR(angular_distance(90.0, 90.0), 0.0, kTol);
+}
+
+TEST(Angles, PositionalAngleConventions) {
+  // Panel faces north (0 deg); UE due north of panel is dead ahead.
+  EXPECT_NEAR(positional_angle(0.0, 0.0), 0.0, kTol);
+  // UE due south is directly behind.
+  EXPECT_NEAR(positional_angle(0.0, 180.0), 180.0, kTol);
+  EXPECT_NEAR(positional_angle(0.0, 90.0), 90.0, kTol);
+}
+
+TEST(Angles, MobilityAngleConventions) {
+  // Paper Fig. 8: theta_m = 180 when moving head-on toward the panel face,
+  // 0 when moving in the panel's facing direction (walking away).
+  EXPECT_NEAR(mobility_angle(0.0, 180.0), 180.0, kTol);
+  EXPECT_NEAR(mobility_angle(0.0, 0.0), 0.0, kTol);
+  EXPECT_NEAR(mobility_angle(90.0, 270.0), 180.0, kTol);
+}
+
+TEST(Angles, PositionalSectors) {
+  EXPECT_EQ(positional_sector(10.0, 0.0), 'F');
+  EXPECT_EQ(positional_sector(170.0, 0.0), 'B');
+  EXPECT_EQ(positional_sector(90.0, -1.0), 'L');
+  EXPECT_EQ(positional_sector(90.0, 1.0), 'R');
+}
+
+TEST(LocalFrame, RoundTripsNearOrigin) {
+  const LocalFrame frame({44.98, -93.26});
+  const Vec2 p{123.4, -56.7};
+  const Vec2 back = frame.to_local(frame.to_geo(p));
+  EXPECT_NEAR(back.x, p.x, 1e-6);
+  EXPECT_NEAR(back.y, p.y, 1e-6);
+}
+
+TEST(LocalFrame, DistancesMatchHaversine) {
+  const LocalFrame frame({44.98, -93.26});
+  const LatLon a = frame.to_geo({0.0, 0.0});
+  const LatLon b = frame.to_geo({300.0, 400.0});
+  EXPECT_NEAR(haversine_m(a, b), 500.0, 1.0);  // 3-4-5 triangle
+}
+
+TEST(LocalFrame, BearingOfCardinalVectors) {
+  EXPECT_NEAR(bearing_of({0.0, 1.0}), 0.0, kTol);
+  EXPECT_NEAR(bearing_of({1.0, 0.0}), 90.0, kTol);
+  EXPECT_NEAR(bearing_of({0.0, -1.0}), 180.0, kTol);
+  EXPECT_NEAR(bearing_of({-1.0, 0.0}), 270.0, kTol);
+}
+
+TEST(LocalFrame, UnitFromBearingInvertsBearingOf) {
+  for (double deg = 0.0; deg < 360.0; deg += 15.0) {
+    EXPECT_NEAR(bearing_of(unit_from_bearing(deg)), deg, 1e-9);
+  }
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_NEAR(dot(a, b), 1.0, kTol);
+  EXPECT_NEAR(cross(a, b), -7.0, kTol);
+  EXPECT_NEAR(length({3.0, 4.0}), 5.0, kTol);
+}
+
+TEST(Grid, CellAssignmentAndCenters) {
+  const Grid g(2.0);
+  EXPECT_EQ(g.cell_of({0.5, 0.5}), (GridCell{0, 0}));
+  EXPECT_EQ(g.cell_of({2.5, -0.5}), (GridCell{1, -1}));
+  EXPECT_EQ(g.cell_of({-0.1, -0.1}), (GridCell{-1, -1}));
+  const Vec2 c = g.center_of({1, -1});
+  EXPECT_NEAR(c.x, 3.0, kTol);
+  EXPECT_NEAR(c.y, -1.0, kTol);
+}
+
+TEST(Grid, CenterIsInsideItsOwnCell) {
+  const Grid g(2.0);
+  for (int ix = -3; ix <= 3; ++ix) {
+    for (int iy = -3; iy <= 3; ++iy) {
+      const GridCell cell{ix, iy};
+      EXPECT_EQ(g.cell_of(g.center_of(cell)), cell);
+    }
+  }
+}
+
+TEST(Grid, HashSpreadsNeighbors) {
+  GridCellHash h;
+  EXPECT_NE(h({0, 0}), h({0, 1}));
+  EXPECT_NE(h({0, 0}), h({1, 0}));
+  EXPECT_NE(h({1, 0}), h({0, 1}));
+}
+
+}  // namespace
+}  // namespace lumos::geo

@@ -1,0 +1,225 @@
+// End-to-end integration tests: the full pipeline from simulated
+// measurement campaign through cleaning, feature building, model training
+// and evaluation — asserting the paper's qualitative findings hold on the
+// simulated substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluate.h"
+#include "core/throughput_map.h"
+#include "data/csv.h"
+#include "sim/areas.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace lumos {
+namespace {
+
+using core::ExperimentConfig;
+using core::ModelKind;
+using data::FeatureSetSpec;
+
+const data::Dataset& airport() {
+  static const data::Dataset ds = [] {
+    return sim::collect_area_dataset(sim::make_airport(), 10, 0, 777);
+  }();
+  return ds;
+}
+
+ExperimentConfig quick() {
+  ExperimentConfig cfg;
+  cfg.gbdt.n_estimators = 80;
+  cfg.forest.n_trees = 40;
+  cfg.seq2seq.epochs = 3;
+  cfg.seq2seq.hidden = 16;
+  cfg.seq2seq.layers = 1;
+  return cfg;
+}
+
+TEST(EndToEnd, MobilityFeaturesImprovePrediction) {
+  // Paper Table 4 / §4.2: location alone is insufficient; adding mobility
+  // reduces error materially.
+  const auto l = evaluate_model(ModelKind::kRandomForest, airport(),
+                                FeatureSetSpec::parse("L"), quick());
+  const auto lm = evaluate_model(ModelKind::kRandomForest, airport(),
+                                 FeatureSetSpec::parse("L+M"), quick());
+  ASSERT_TRUE(l.valid && lm.valid);
+  EXPECT_LT(lm.rmse, l.rmse * 0.85)
+      << "mobility should cut RMSE by >15% (paper: 24-36%)";
+}
+
+TEST(EndToEnd, ConnectionFeaturesImproveFurther) {
+  const auto lm = evaluate_model(ModelKind::kGdbt, airport(),
+                                 FeatureSetSpec::parse("L+M"), quick());
+  const auto lmc = evaluate_model(ModelKind::kGdbt, airport(),
+                                  FeatureSetSpec::parse("L+M+C"), quick());
+  ASSERT_TRUE(lm.valid && lmc.valid);
+  EXPECT_LT(lmc.mae, lm.mae);
+}
+
+TEST(EndToEnd, SameDirectionTracesAreConsistent) {
+  // Paper §4.2: Spearman within direction >> across directions.
+  const auto nb = airport().filter(
+      [](const data::SampleRecord& s) { return s.trajectory_id == 1; });
+  const auto sb = airport().filter(
+      [](const data::SampleRecord& s) { return s.trajectory_id == 2; });
+  const auto tn = nb.throughput_traces();
+  const auto ts = sb.throughput_traces();
+  ASSERT_GE(tn.size(), 3u);
+  ASSERT_GE(ts.size(), 3u);
+
+  double same = 0.0;
+  int n_same = 0;
+  for (std::size_t i = 0; i < tn.size(); ++i) {
+    for (std::size_t j = i + 1; j < tn.size(); ++j) {
+      const std::size_t len = std::min(tn[i].size(), tn[j].size());
+      same += stats::spearman(std::span(tn[i].data(), len),
+                              std::span(tn[j].data(), len));
+      ++n_same;
+    }
+  }
+  double cross = 0.0;
+  int n_cross = 0;
+  for (const auto& a : tn) {
+    for (const auto& b : ts) {
+      const std::size_t len = std::min(a.size(), b.size());
+      cross += stats::spearman(std::span(a.data(), len),
+                               std::span(b.data(), len));
+      ++n_cross;
+    }
+  }
+  const double avg_same = same / n_same;
+  const double avg_cross = std::fabs(cross / n_cross);
+  EXPECT_GT(avg_same, 0.5);        // paper: 0.61-0.74
+  EXPECT_LT(avg_cross, 0.35);      // paper: 0.021
+  EXPECT_GT(avg_same, avg_cross + 0.3);
+}
+
+TEST(EndToEnd, PerCellVariabilityIsHigh) {
+  // Paper §4.1: ~half the cells have CV >= 50%.
+  const auto grid = airport().throughput_by_grid(2);
+  std::size_t high_cv = 0, cells = 0;
+  for (const auto& [key, v] : grid) {
+    if (v.size() < 6) continue;
+    ++cells;
+    if (stats::coefficient_of_variation(v) >= 0.5) ++high_cv;
+  }
+  ASSERT_GT(cells, 30u);
+  const double frac = static_cast<double>(high_cv) / static_cast<double>(cells);
+  // The paper reports ~53% of cells with CV >= 50%; our scaled-down
+  // campaign reproduces the phenomenon at a lower rate (direction mixing
+  // plus fading), see EXPERIMENTS.md.
+  EXPECT_GT(frac, 0.1);
+  EXPECT_LT(frac, 0.8);
+}
+
+TEST(EndToEnd, SouthPanelDistanceDipAndRegain) {
+  // Paper Fig. 11b: south panel throughput dips in the booth band and
+  // regains beyond it (dip at 22-52 m in our airport reconstruction).
+  std::vector<double> near, mid, far;
+  for (const auto& s : airport().samples()) {
+    if (s.cell_id != 1 || !s.has_panel_geometry()) continue;
+    if (s.ue_panel_distance_m < 22.0) {
+      near.push_back(s.throughput_mbps);
+    } else if (s.ue_panel_distance_m < 52.0) {
+      mid.push_back(s.throughput_mbps);
+    } else if (s.ue_panel_distance_m < 90.0) {
+      far.push_back(s.throughput_mbps);
+    }
+  }
+  ASSERT_GT(near.size(), 20u);
+  ASSERT_GT(mid.size(), 20u);
+  ASSERT_GT(far.size(), 20u);
+  const double m_near = stats::median(near);
+  const double m_mid = stats::median(mid);
+  const double m_far = stats::median(far);
+  EXPECT_LT(m_mid, m_near) << "booth band should dip below near-field";
+  EXPECT_GT(m_far, m_mid) << "LoS regained beyond the booths";
+}
+
+TEST(EndToEnd, NorthPanelMonotoneDecay) {
+  // Paper Fig. 11a: the unobstructed north panel decays with distance.
+  std::vector<double> near, far;
+  for (const auto& s : airport().samples()) {
+    if (s.cell_id != 2 || !s.has_panel_geometry()) continue;
+    if (s.ue_panel_distance_m < 60.0) {
+      near.push_back(s.throughput_mbps);
+    } else if (s.ue_panel_distance_m > 120.0) {
+      far.push_back(s.throughput_mbps);
+    }
+  }
+  ASSERT_GT(near.size(), 20u);
+  ASSERT_GT(far.size(), 20u);
+  EXPECT_GT(stats::median(near), stats::median(far) * 1.3);
+}
+
+TEST(EndToEnd, DrivingDegradesThroughputWalkingDoesNot) {
+  // Paper §4.6 / Fig. 14.
+  const auto loop_ds =
+      sim::collect_area_dataset(sim::make_loop(), 2, 4, 888);
+  std::vector<double> stopped, fast_driving, walking;
+  for (const auto& s : loop_ds.samples()) {
+    const double kmph = s.moving_speed_mps * 3.6;
+    if (s.detected_activity == data::Activity::kDriving ||
+        (s.detected_activity == data::Activity::kStill && kmph < 1.0)) {
+      if (kmph < 5.0) {
+        stopped.push_back(s.throughput_mbps);
+      } else if (kmph > 20.0) {
+        fast_driving.push_back(s.throughput_mbps);
+      }
+    } else if (s.detected_activity == data::Activity::kWalking) {
+      walking.push_back(s.throughput_mbps);
+    }
+  }
+  ASSERT_GT(stopped.size(), 50u);
+  ASSERT_GT(fast_driving.size(), 50u);
+  ASSERT_GT(walking.size(), 50u);
+  // Fast driving collapses to a fraction of stopped throughput.
+  EXPECT_LT(stats::median(fast_driving), stats::median(stopped) * 0.5);
+  // Walking keeps high peaks.
+  EXPECT_GT(stats::quantile(walking, 0.99), 1200.0);
+}
+
+TEST(EndToEnd, DatasetSurvivesCsvRoundTripAndRetrains) {
+  const std::string path = "/tmp/lumos_integration_roundtrip.csv";
+  data::write_csv(airport(), path);
+  const data::Dataset back = data::read_csv(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), airport().size());
+  const auto r = evaluate_model(ModelKind::kGdbt, back,
+                                FeatureSetSpec::parse("L+M"), quick());
+  EXPECT_TRUE(r.valid);
+}
+
+TEST(EndToEnd, FullPipelineIsDeterministic) {
+  const auto a = sim::collect_area_dataset(sim::make_airport(), 2, 0, 31337);
+  const auto b = sim::collect_area_dataset(sim::make_airport(), 2, 0, 31337);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 17) {
+    EXPECT_DOUBLE_EQ(a[i].throughput_mbps, b[i].throughput_mbps);
+  }
+  const auto ra = evaluate_model(ModelKind::kGdbt, a,
+                                 FeatureSetSpec::parse("L+M"), quick());
+  const auto rb = evaluate_model(ModelKind::kGdbt, b,
+                                 FeatureSetSpec::parse("L+M"), quick());
+  EXPECT_DOUBLE_EQ(ra.mae, rb.mae);
+  EXPECT_DOUBLE_EQ(ra.weighted_f1, rb.weighted_f1);
+}
+
+TEST(EndToEnd, ThroughputMapShowsSpatialStructure) {
+  const auto map = core::ThroughputMap::build(airport(), 2);
+  // High-throughput cells near the north panel, weak cells at the south
+  // end: the map must contain both extremes (paper Fig. 6 color spread).
+  bool has_fast = false, has_slow = false;
+  for (const auto& [key, c] : map.cells()) {
+    if (c.count < 5) continue;
+    if (c.mean_mbps > 700.0) has_fast = true;
+    if (c.mean_mbps < 300.0) has_slow = true;
+  }
+  EXPECT_TRUE(has_fast);
+  EXPECT_TRUE(has_slow);
+}
+
+}  // namespace
+}  // namespace lumos

@@ -1,0 +1,369 @@
+// Tests for lumos::nn — matrix kernels, Dense and LSTM layers (including
+// numerical gradient checks of the hand-written backward passes), Adam,
+// and end-to-end Seq2Seq learning on synthetic sequence tasks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/matrix.h"
+#include "nn/seq2seq.h"
+
+namespace lumos::nn {
+namespace {
+
+void fill_random(Matrix& m, Rng& rng, double scale = 1.0) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.normal(0.0, scale);
+  }
+}
+
+// ---------- matrix ----------
+
+TEST(Matrix, MatmulKnownValues) {
+  Matrix a(2, 3), b(3, 2), out;
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  matmul(a, b, out);
+  EXPECT_NEAR(out(0, 0), 58.0, 1e-12);
+  EXPECT_NEAR(out(0, 1), 64.0, 1e-12);
+  EXPECT_NEAR(out(1, 0), 139.0, 1e-12);
+  EXPECT_NEAR(out(1, 1), 154.0, 1e-12);
+}
+
+TEST(Matrix, MatmulBtMatchesExplicitTranspose) {
+  Rng rng(1);
+  Matrix a(4, 5), b(3, 5);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  Matrix bt(5, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) bt(c, r) = b(r, c);
+  }
+  Matrix out1, out2;
+  matmul_bt(a, b, out1);
+  matmul(a, bt, out2);
+  ASSERT_EQ(out1.rows(), out2.rows());
+  for (std::size_t i = 0; i < out1.size(); ++i) {
+    EXPECT_NEAR(out1.data()[i], out2.data()[i], 1e-10);
+  }
+}
+
+TEST(Matrix, MatmulAtMatchesExplicitTranspose) {
+  Rng rng(2);
+  Matrix a(6, 3), b(6, 4);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  Matrix at(3, 6);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) at(c, r) = a(r, c);
+  }
+  Matrix out1, out2;
+  matmul_at(a, b, out1);
+  matmul(at, b, out2);
+  for (std::size_t i = 0; i < out1.size(); ++i) {
+    EXPECT_NEAR(out1.data()[i], out2.data()[i], 1e-10);
+  }
+}
+
+TEST(Matrix, BroadcastAndHadamard) {
+  Matrix m(2, 2), bias(1, 2);
+  m(0, 0) = 1;
+  m(1, 1) = 2;
+  bias(0, 0) = 10;
+  bias(0, 1) = 20;
+  add_row_broadcast(m, bias);
+  EXPECT_NEAR(m(0, 0), 11.0, 1e-12);
+  EXPECT_NEAR(m(0, 1), 20.0, 1e-12);
+  EXPECT_NEAR(m(1, 0), 10.0, 1e-12);
+  EXPECT_NEAR(m(1, 1), 22.0, 1e-12);
+
+  Matrix a(1, 3), b(1, 3), out;
+  for (int i = 0; i < 3; ++i) {
+    a(0, static_cast<std::size_t>(i)) = i + 1;
+    b(0, static_cast<std::size_t>(i)) = 2;
+  }
+  hadamard(a, b, out);
+  EXPECT_NEAR(out(0, 2), 6.0, 1e-12);
+}
+
+// ---------- gradient checks ----------
+
+/// Numerically checks dL/dw for one parameter entry.
+double numerical_grad(const std::function<double()>& loss_fn, double& w) {
+  const double eps = 1e-6;
+  const double orig = w;
+  w = orig + eps;
+  const double lp = loss_fn();
+  w = orig - eps;
+  const double lm = loss_fn();
+  w = orig;
+  return (lp - lm) / (2.0 * eps);
+}
+
+TEST(Dense, GradientMatchesNumerical) {
+  Rng rng(3);
+  Dense layer(4, 3, rng);
+  Matrix x(5, 4), target(5, 3);
+  fill_random(x, rng);
+  fill_random(target, rng);
+
+  const auto loss_fn = [&]() {
+    Matrix y;
+    layer.forward_infer(x, y);
+    return mse(y, target);
+  };
+
+  // Analytic gradients.
+  Matrix y, grad, dx;
+  layer.forward(x, y);
+  const double base_loss = mse_loss(y, target, grad);
+  EXPECT_GT(base_loss, 0.0);
+  for (Param* p : layer.params()) p->zero_grad();
+  layer.backward(grad, dx);
+
+  for (Param* p : layer.params()) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(p->w.size(), 6); ++i) {
+      const double num = numerical_grad(loss_fn, p->w.data()[i]);
+      EXPECT_NEAR(p->g.data()[i], num, 1e-5)
+          << "param entry " << i;
+    }
+  }
+}
+
+TEST(Lstm, ForwardShapesAndRanges) {
+  Rng rng(4);
+  LSTMCell cell(3, 8, rng);
+  Matrix x(2, 3);
+  fill_random(x, rng);
+  LSTMState in(2, 8), out;
+  LSTMCache cache;
+  cell.forward(x, in, out, cache);
+  ASSERT_EQ(out.h.rows(), 2u);
+  ASSERT_EQ(out.h.cols(), 8u);
+  for (std::size_t i = 0; i < out.h.size(); ++i) {
+    EXPECT_LT(std::fabs(out.h.data()[i]), 1.0);  // |h| < 1 by construction
+  }
+}
+
+TEST(Lstm, ForwardNocacheMatchesForward) {
+  Rng rng(5);
+  LSTMCell cell(3, 6, rng);
+  Matrix x(2, 3);
+  fill_random(x, rng);
+  LSTMState in(2, 6), out1, out2;
+  fill_random(in.h, rng, 0.3);
+  fill_random(in.c, rng, 0.3);
+  LSTMCache cache;
+  cell.forward(x, in, out1, cache);
+  cell.forward_nocache(x, in, out2);
+  for (std::size_t i = 0; i < out1.h.size(); ++i) {
+    EXPECT_NEAR(out1.h.data()[i], out2.h.data()[i], 1e-12);
+    EXPECT_NEAR(out1.c.data()[i], out2.c.data()[i], 1e-12);
+  }
+}
+
+TEST(Lstm, GradientMatchesNumerical) {
+  Rng rng(6);
+  LSTMCell cell(2, 4, rng);
+  Matrix x(3, 2), target(3, 4);
+  fill_random(x, rng);
+  fill_random(target, rng, 0.5);
+  LSTMState in(3, 4);
+  fill_random(in.h, rng, 0.3);
+  fill_random(in.c, rng, 0.3);
+
+  const auto loss_fn = [&]() {
+    LSTMState out;
+    cell.forward_nocache(x, in, out);
+    return mse(out.h, target);
+  };
+
+  LSTMState out;
+  LSTMCache cache;
+  cell.forward(x, in, out, cache);
+  Matrix grad;
+  mse_loss(out.h, target, grad);
+  Matrix dc(3, 4);  // no gradient flowing from future cell state
+  Matrix dx, dh_prev, dc_prev;
+  for (Param* p : cell.params()) p->zero_grad();
+  cell.backward(cache, grad, dc, dx, dh_prev, dc_prev);
+
+  for (Param* p : cell.params()) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(p->w.size(), 8); ++i) {
+      const double num = numerical_grad(loss_fn, p->w.data()[i]);
+      EXPECT_NEAR(p->g.data()[i], num, 2e-5) << "param entry " << i;
+    }
+  }
+}
+
+TEST(Lstm, InputGradientMatchesNumerical) {
+  Rng rng(7);
+  LSTMCell cell(2, 4, rng);
+  Matrix x(1, 2), target(1, 4);
+  fill_random(x, rng);
+  fill_random(target, rng, 0.5);
+  LSTMState in(1, 4);
+
+  const auto loss_fn = [&]() {
+    LSTMState out;
+    cell.forward_nocache(x, in, out);
+    return mse(out.h, target);
+  };
+
+  LSTMState out;
+  LSTMCache cache;
+  cell.forward(x, in, out, cache);
+  Matrix grad;
+  mse_loss(out.h, target, grad);
+  Matrix dc(1, 4), dx, dh_prev, dc_prev;
+  cell.backward(cache, grad, dc, dx, dh_prev, dc_prev);
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double num = numerical_grad(loss_fn, x.data()[i]);
+    EXPECT_NEAR(dx.data()[i], num, 2e-5);
+  }
+}
+
+// ---------- losses & optimizer ----------
+
+TEST(Loss, MseAndGradient) {
+  Matrix pred(1, 2), target(1, 2), grad;
+  pred(0, 0) = 1.0;
+  pred(0, 1) = 3.0;
+  target(0, 0) = 0.0;
+  target(0, 1) = 1.0;
+  const double l = mse_loss(pred, target, grad);
+  EXPECT_NEAR(l, (1.0 + 4.0) / 2.0, 1e-12);
+  EXPECT_NEAR(grad(0, 0), 2.0 * 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(grad(0, 1), 2.0 * 2.0 / 2.0, 1e-12);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize (w - 3)^2 elementwise.
+  Param p(1, 4);
+  for (std::size_t i = 0; i < 4; ++i) p.w(0, i) = 10.0;
+  Adam opt(AdamConfig{.lr = 0.1, .clip_norm = 0.0});
+  for (int step = 0; step < 500; ++step) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      p.g(0, i) = 2.0 * (p.w(0, i) - 3.0);
+    }
+    opt.step({&p});
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(p.w(0, i), 3.0, 1e-3);
+  }
+}
+
+TEST(Adam, ClippingBoundsTheStep) {
+  Param p(1, 1);
+  p.w(0, 0) = 0.0;
+  Adam opt(AdamConfig{.lr = 0.5, .clip_norm = 1.0});
+  p.g(0, 0) = 1e9;  // enormous gradient
+  opt.step({&p});
+  EXPECT_LT(std::fabs(p.w(0, 0)), 1.0);  // step bounded by lr after clip
+}
+
+// ---------- Seq2Seq ----------
+
+Seq2SeqConfig small_config(std::size_t in_dim, std::size_t out_len) {
+  Seq2SeqConfig cfg;
+  cfg.input_dim = in_dim;
+  cfg.hidden = 16;
+  cfg.layers = 1;
+  cfg.seq_len = 8;
+  cfg.out_len = out_len;
+  cfg.epochs = 60;
+  cfg.batch_size = 16;
+  cfg.lr = 5e-3;
+  cfg.seed = 9;
+  return cfg;
+}
+
+/// Task: predict the mean of the input window (standardized scale).
+std::vector<SeqSample> mean_task(std::size_t n, std::size_t seq_len,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SeqSample> samples(n);
+  for (auto& s : samples) {
+    s.x.resize(seq_len);
+    double sum = 0.0;
+    for (auto& v : s.x) {
+      v = rng.normal(0.0, 1.0);
+      sum += v;
+    }
+    s.y.assign(1, sum / static_cast<double>(seq_len));
+  }
+  return samples;
+}
+
+TEST(Seq2Seq, LearnsWindowMean) {
+  const auto cfg = small_config(1, 1);
+  auto train = mean_task(300, cfg.seq_len, 100);
+  const auto test = mean_task(50, cfg.seq_len, 101);
+  Seq2Seq net(cfg);
+  const auto losses = net.fit(train);
+  ASSERT_EQ(losses.size(), cfg.epochs);
+  EXPECT_LT(losses.back(), losses.front() * 0.5)
+      << "training loss should drop substantially";
+  double err = 0.0;
+  for (const auto& s : test) {
+    err += std::fabs(net.predict(s.x).front() - s.y.front());
+  }
+  err /= static_cast<double>(test.size());
+  EXPECT_LT(err, 0.15);  // target std is ~1/sqrt(8) ~ 0.35
+}
+
+TEST(Seq2Seq, MultiStepOutputHasRequestedLength) {
+  auto cfg = small_config(2, 5);
+  cfg.epochs = 2;
+  Rng rng(102);
+  std::vector<SeqSample> train(20);
+  for (auto& s : train) {
+    s.x.resize(cfg.seq_len * 2);
+    for (auto& v : s.x) v = rng.normal(0.0, 1.0);
+    s.y.resize(5, 0.5);
+  }
+  Seq2Seq net(cfg);
+  net.fit(train);
+  EXPECT_EQ(net.predict(train[0].x).size(), 5u);
+}
+
+TEST(Seq2Seq, RejectsShapeMismatches) {
+  const auto cfg = small_config(1, 1);
+  Seq2Seq net(cfg);
+  std::vector<SeqSample> bad(1);
+  bad[0].x.resize(3);  // wrong window length
+  bad[0].y.resize(1);
+  EXPECT_THROW(net.fit(bad), std::invalid_argument);
+  EXPECT_THROW(net.predict({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(net.fit({}), std::invalid_argument);
+}
+
+TEST(Seq2Seq, RejectsZeroDimensions) {
+  Seq2SeqConfig cfg;
+  cfg.input_dim = 0;
+  EXPECT_THROW(Seq2Seq net(cfg), std::invalid_argument);
+}
+
+TEST(Seq2Seq, DeterministicGivenSeed) {
+  const auto cfg = small_config(1, 1);
+  auto train = mean_task(50, cfg.seq_len, 104);
+  Seq2Seq a(cfg), b(cfg);
+  auto train_copy = train;
+  a.fit(train);
+  b.fit(train_copy);
+  const auto pa = a.predict(train[0].x);
+  const auto pb = b.predict(train[0].x);
+  EXPECT_DOUBLE_EQ(pa.front(), pb.front());
+}
+
+}  // namespace
+}  // namespace lumos::nn

@@ -1,0 +1,359 @@
+// Property-based sweeps (parameterized gtest) over the simulator physics,
+// the RNG, the feature pipeline and the models — invariants that must hold
+// across whole parameter ranges, not just single examples. Also includes
+// failure-injection tests for the I/O and evaluation paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "common/rng.h"
+#include "core/evaluate.h"
+#include "data/csv.h"
+#include "data/features.h"
+#include "ml/gbdt.h"
+#include "ml/harmonic.h"
+#include "sim/areas.h"
+#include "sim/connection.h"
+#include "sim/propagation.h"
+#include "stats/descriptive.h"
+
+namespace lumos {
+namespace {
+
+// ---------- RNG properties ----------
+
+class RngSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeeds, UniformIsInRangeAndRoughlyUniform) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 4000.0, 0.5, 0.03);
+}
+
+TEST_P(RngSeeds, NormalHasUnitMoments) {
+  Rng rng(GetParam());
+  std::vector<double> v(4000);
+  for (auto& x : v) x = rng.normal();
+  EXPECT_NEAR(stats::mean(v), 0.0, 0.06);
+  EXPECT_NEAR(stats::stddev(v), 1.0, 0.06);
+}
+
+TEST_P(RngSeeds, SameSeedSameStream) {
+  Rng a(GetParam()), b(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST_P(RngSeeds, UniformIntIsBounded) {
+  Rng rng(GetParam());
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 100ull, 1000003ull}) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_LT(rng.uniform_int(n), n);
+    }
+  }
+}
+
+TEST_P(RngSeeds, PermutationIsAPermutation) {
+  Rng rng(GetParam());
+  const auto p = rng.permutation(257);
+  std::vector<bool> seen(257, false);
+  for (std::size_t i : p) {
+    ASSERT_LT(i, 257u);
+    ASSERT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeeds,
+                         ::testing::Values(1u, 42u, 0xdeadbeefu, 1u << 20,
+                                           0xffffffffffffffffull));
+
+// ---------- propagation invariants across configurations ----------
+
+struct PropCase {
+  double half_dist;
+  double exponent;
+};
+
+class PropagationSweep : public ::testing::TestWithParam<PropCase> {};
+
+TEST_P(PropagationSweep, DistanceCurveIsMonotoneAndBounded) {
+  sim::PropagationConfig cfg;
+  cfg.half_capacity_distance_m = GetParam().half_dist;
+  cfg.distance_exponent = GetParam().exponent;
+  const sim::PropagationModel model(cfg);
+  double prev = 1e18;
+  for (double d = 0.0; d <= 500.0; d += 5.0) {
+    const double c = model.distance_capacity(d, 1900.0);
+    ASSERT_LE(c, 1900.0 + 1e-9);
+    ASSERT_GE(c, 0.0);
+    ASSERT_LE(c, prev + 1e-9);
+    prev = c;
+  }
+  // Half-capacity property: cap(d_half) == peak/2.
+  EXPECT_NEAR(model.distance_capacity(GetParam().half_dist, 1900.0), 950.0,
+              1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PropagationSweep,
+                         ::testing::Values(PropCase{60.0, 2.0},
+                                           PropCase{110.0, 2.6},
+                                           PropCase{150.0, 3.0},
+                                           PropCase{200.0, 1.5}));
+
+class AngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AngleSweep, MeanCapacityNonNegativeEverywhere) {
+  const sim::PropagationModel model;
+  const sim::Panel panel{1, {0, 0}, GetParam()};
+  for (double x = -100.0; x <= 100.0; x += 25.0) {
+    for (double y = -100.0; y <= 100.0; y += 25.0) {
+      for (double heading = 0.0; heading < 360.0; heading += 45.0) {
+        sim::UEContext ue{{x, y}, heading, 1.4, data::Activity::kWalking};
+        const double c = model.mean_capacity(panel, ue, {}, false);
+        ASSERT_GE(c, 0.0);
+        ASSERT_LE(c, 1900.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PanelBearings, AngleSweep,
+                         ::testing::Values(0.0, 90.0, 180.0, 270.0, 33.0));
+
+// ---------- connection-state invariants across seeds ----------
+
+class ConnectionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConnectionSweep, RadioAndCellIdAreConsistent) {
+  const sim::Area area = sim::make_loop();
+  Rng rng(GetParam());
+  sim::ConnectionManager conn(area.env, rng);
+  // March around the loop; check invariants at every tick.
+  for (int t = 0; t < 400; ++t) {
+    const double frac = t / 400.0;
+    const geo::Vec2 pos{400.0 * std::min(1.0, 2.0 * frac),
+                        250.0 * std::max(0.0, 2.0 * frac - 1.0)};
+    sim::UEContext ue{pos, 90.0, 1.4, data::Activity::kWalking};
+    const auto r = conn.tick(ue, rng);
+    ASSERT_GE(r.throughput_mbps, 0.0);
+    ASSERT_LE(r.throughput_mbps, conn.config().ue_max_mbps);
+    if (r.radio == data::RadioType::kNrMmWave) {
+      ASSERT_GE(r.serving_index, 0);
+      ASSERT_NE(r.cell_id, -1000);
+    } else {
+      ASSERT_EQ(r.serving_index, -1);
+      ASSERT_EQ(r.cell_id, -1000);
+    }
+    // A tick cannot be both kinds of handoff at once.
+    ASSERT_FALSE(r.horizontal_handoff && r.vertical_handoff);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConnectionSweep,
+                         ::testing::Values(1u, 7u, 99u, 12345u));
+
+// ---------- feature pipeline row-count algebra ----------
+
+struct FeatureCase {
+  int lags;
+  int horizon;
+};
+
+class FeatureSweep : public ::testing::TestWithParam<FeatureCase> {};
+
+TEST_P(FeatureSweep, RowCountMatchesFormula) {
+  // Build a run of exactly 40 seconds.
+  data::Dataset ds;
+  for (int t = 0; t < 40; ++t) {
+    data::SampleRecord s;
+    s.area = "x";
+    s.trajectory_id = 1;
+    s.run_id = 0;
+    s.timestamp_s = t;
+    s.latitude = 44.9 + t * 1e-5;
+    s.longitude = -93.2;
+    s.gps_accuracy_m = 1.0;
+    s.throughput_mbps = 100.0 + t;
+    ds.append(s);
+  }
+  ds.clean(data::CleaningConfig{.buffer_period_s = 0.0});
+
+  data::FeatureConfig cfg;
+  cfg.throughput_lags = GetParam().lags;
+  cfg.horizon = GetParam().horizon;
+  const auto built =
+      data::build_features(ds, data::FeatureSetSpec::parse("L+C"), cfg);
+  // usable i ranges over [lags-1, 40-1-horizon]:
+  const long expect = 40 - (GetParam().lags - 1) - GetParam().horizon;
+  EXPECT_EQ(static_cast<long>(built.x.rows()), std::max(0l, expect));
+  // Targets always horizon seconds ahead on the +1/s ramp.
+  for (std::size_t i = 0; i < built.x.rows(); ++i) {
+    const auto& src = ds[built.source_index[i]];
+    EXPECT_NEAR(built.y_reg[i],
+                src.throughput_mbps + GetParam().horizon, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LagHorizonGrid, FeatureSweep,
+    ::testing::Values(FeatureCase{1, 1}, FeatureCase{5, 1}, FeatureCase{10, 1},
+                      FeatureCase{5, 5}, FeatureCase{1, 30},
+                      FeatureCase{20, 25}));
+
+// ---------- harmonic mean bounds ----------
+
+class HarmonicSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HarmonicSweep, PredictionBetweenMinAndMaxOfWindow) {
+  Rng rng(GetParam());
+  const ml::HarmonicMeanPredictor hm(5);
+  std::vector<double> hist;
+  for (int i = 0; i < 50; ++i) {
+    hist.push_back(rng.uniform(10.0, 2000.0));
+    const double p = hm.predict_next(hist);
+    const std::size_t w = std::min<std::size_t>(5, hist.size());
+    double lo = 1e18, hi = 0.0;
+    for (std::size_t k = hist.size() - w; k < hist.size(); ++k) {
+      lo = std::min(lo, hist[k]);
+      hi = std::max(hi, hist[k]);
+    }
+    ASSERT_GE(p, lo - 1e-9);
+    ASSERT_LE(p, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HarmonicSweep,
+                         ::testing::Values(3u, 5u, 8u, 13u));
+
+// ---------- GDBT capacity scaling ----------
+
+TEST(GbdtProperty, MoreTreesNeverHurtMuchInSample) {
+  Rng rng(77);
+  ml::FeatureMatrix x(400, 2);
+  std::vector<double> y(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    x.at(i, 0) = rng.uniform(-3.0, 3.0);
+    x.at(i, 1) = rng.uniform(-3.0, 3.0);
+    y[i] = 10.0 * std::sin(x.at(i, 0)) + x.at(i, 1);
+  }
+  double prev_err = 1e18;
+  for (std::size_t trees : {10u, 50u, 200u}) {
+    ml::GbdtConfig cfg;
+    cfg.n_estimators = trees;
+    cfg.max_depth = 3;
+    ml::GbdtRegressor model(cfg);
+    model.fit(x, y);
+    double err = 0.0;
+    for (std::size_t i = 0; i < 400; ++i) {
+      err += std::fabs(model.predict(x.row(i)) - y[i]);
+    }
+    EXPECT_LT(err, prev_err * 1.05);  // train error shrinks with capacity
+    prev_err = err;
+  }
+}
+
+// ---------- standardizer idempotence-ish ----------
+
+TEST(StandardizerProperty, DoubleTransformEqualsIdentityOnStats) {
+  Rng rng(88);
+  ml::FeatureMatrix x(300, 3);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x.at(i, 0) = rng.normal(5.0, 2.0);
+    x.at(i, 1) = rng.normal(-100.0, 30.0);
+    x.at(i, 2) = rng.uniform();
+  }
+  data::Standardizer s1;
+  s1.fit(x);
+  s1.transform(x);
+  // Refit on standardized data: mean ~0, sd ~1 -> second transform is a
+  // near no-op.
+  data::Standardizer s2;
+  s2.fit(x);
+  for (double m : s2.mean()) EXPECT_NEAR(m, 0.0, 1e-9);
+  for (double sd : s2.stddev()) EXPECT_NEAR(sd, 1.0, 1e-9);
+}
+
+// ---------- failure injection ----------
+
+TEST(FailureInjection, CsvWithWrongColumnCountThrows) {
+  const std::string path = "/tmp/lumos_bad_csv_test.csv";
+  {
+    std::ofstream f(path);
+    f << "header,line,ignored\n";
+    f << "only,three,fields\n";
+  }
+  EXPECT_THROW(data::read_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, CleaningAllBadRunsYieldsEmpty) {
+  data::Dataset ds;
+  for (int t = 0; t < 30; ++t) {
+    data::SampleRecord s;
+    s.area = "x";
+    s.run_id = 0;
+    s.timestamp_s = t;
+    s.gps_accuracy_m = 50.0;  // hopeless GPS
+    ds.append(s);
+  }
+  ds.clean();
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(FailureInjection, EvaluateOnTinyDatasetIsInvalidNotCrash) {
+  data::Dataset tiny;
+  for (int t = 0; t < 10; ++t) {
+    data::SampleRecord s;
+    s.area = "x";
+    s.timestamp_s = t;
+    s.throughput_mbps = 100.0;
+    tiny.append(s);
+  }
+  const auto r = core::evaluate_model(core::ModelKind::kGdbt, tiny,
+                                      data::FeatureSetSpec::parse("L"), {});
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(FailureInjection, TransferWithEmptyTestSetIsInvalid) {
+  const auto ds = sim::collect_area_dataset(sim::make_airport(), 2, 0, 5);
+  const auto r = core::evaluate_transfer(core::ModelKind::kGdbt, ds,
+                                         data::Dataset{},
+                                         data::FeatureSetSpec::parse("L"), {});
+  EXPECT_FALSE(r.valid);
+}
+
+// ---------- end-to-end determinism across areas ----------
+
+class AreaDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(AreaDeterminism, SameSeedSameDataset) {
+  const auto build = [&] {
+    switch (GetParam()) {
+      case 0: return sim::collect_area_dataset(sim::make_airport(), 2, 0, 9);
+      case 1:
+        return sim::collect_area_dataset(sim::make_intersection(), 1, 0, 9);
+      default: return sim::collect_area_dataset(sim::make_loop(), 1, 1, 9);
+    }
+  };
+  const auto a = build();
+  const auto b = build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 23) {
+    ASSERT_DOUBLE_EQ(a[i].throughput_mbps, b[i].throughput_mbps);
+    ASSERT_EQ(a[i].cell_id, b[i].cell_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Areas, AreaDeterminism, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace lumos

@@ -1,0 +1,614 @@
+// Tests for lumos::sim — geometry/obstacle tests, the propagation model's
+// monotonicity properties (the physics behind paper §4), fading, LTE,
+// the connection state machine, mobility, sensors, the collector and the
+// area factories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/areas.h"
+#include "sim/collector.h"
+#include "sim/congestion.h"
+#include "sim/connection.h"
+#include "sim/environment.h"
+#include "sim/fading.h"
+#include "sim/lte.h"
+#include "sim/mobility.h"
+#include "sim/obstacle.h"
+#include "sim/propagation.h"
+#include "sim/sensors.h"
+
+namespace lumos::sim {
+namespace {
+
+using data::Activity;
+using data::RadioType;
+
+// ---------- obstacles ----------
+
+TEST(Obstacle, SegmentsIntersectBasic) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(Obstacle, SharedEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(Obstacle, CollinearOverlapCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {4, 0}, {2, 0}, {6, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(Obstacle, PathPenetrationMultipliesWalls) {
+  std::vector<Wall> walls{
+      {{1, -1}, {1, 1}, 0.5, "w1"},
+      {{2, -1}, {2, 1}, 0.4, "w2"},
+      {{10, -1}, {10, 1}, 0.1, "unhit"},
+  };
+  EXPECT_NEAR(path_penetration(walls, {0, 0}, {3, 0}), 0.2, 1e-12);
+  EXPECT_NEAR(path_penetration(walls, {0, 0}, {0.5, 0}), 1.0, 1e-12);
+}
+
+TEST(Obstacle, FullyOpaqueShortCircuitsToZero) {
+  std::vector<Wall> walls{{{1, -1}, {1, 1}, 0.0, "concrete"}};
+  EXPECT_EQ(path_penetration(walls, {0, 0}, {2, 0}), 0.0);
+}
+
+// ---------- link geometry ----------
+
+TEST(LinkGeometryTest, FrontalUE) {
+  const Panel p{1, {0, 0}, 0.0};  // facing north
+  UEContext ue;
+  ue.pos = {0, 50};  // due north
+  ue.heading_deg = 180.0;  // walking toward the panel
+  const LinkGeometry g = link_geometry(p, ue);
+  EXPECT_NEAR(g.distance_m, 50.0, 1e-9);
+  EXPECT_NEAR(g.theta_p_deg, 0.0, 1e-9);
+  EXPECT_NEAR(g.theta_m_deg, 180.0, 1e-9);
+}
+
+TEST(LinkGeometryTest, BehindUE) {
+  const Panel p{1, {0, 0}, 0.0};
+  UEContext ue;
+  ue.pos = {0, -30};  // due south = behind the face
+  ue.heading_deg = 0.0;
+  const LinkGeometry g = link_geometry(p, ue);
+  EXPECT_NEAR(g.theta_p_deg, 180.0, 1e-9);
+  EXPECT_NEAR(g.theta_m_deg, 0.0, 1e-9);
+}
+
+TEST(LinkGeometryTest, SideUE) {
+  const Panel p{1, {0, 0}, 0.0};
+  UEContext ue;
+  ue.pos = {40, 0};  // due east
+  ue.heading_deg = 90.0;
+  const LinkGeometry g = link_geometry(p, ue);
+  EXPECT_NEAR(g.theta_p_deg, 90.0, 1e-9);
+  EXPECT_NEAR(g.theta_m_deg, 90.0, 1e-9);
+}
+
+// ---------- propagation ----------
+
+class DistanceMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistanceMonotonic, CapacityDecreasesWithDistance) {
+  const PropagationModel model;
+  const double d = GetParam();
+  EXPECT_GT(model.distance_capacity(d, 1900.0),
+            model.distance_capacity(d + 10.0, 1900.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistanceMonotonic,
+                         ::testing::Values(1.0, 25.0, 50.0, 100.0, 150.0,
+                                           200.0, 300.0));
+
+TEST(Propagation, NearFieldApproachesPeak) {
+  const PropagationModel model;
+  EXPECT_GT(model.distance_capacity(1.0, 1900.0), 1880.0);
+}
+
+TEST(Propagation, PositionalGainFullInMainLobe) {
+  const PropagationModel model;
+  EXPECT_NEAR(model.positional_gain(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(model.positional_gain(30.0), 1.0, 1e-12);
+  EXPECT_LT(model.positional_gain(90.0), 0.8);
+  EXPECT_NEAR(model.positional_gain(180.0),
+              model.config().back_lobe_gain, 1e-9);
+}
+
+TEST(Propagation, PositionalGainMonotoneDecreasing) {
+  const PropagationModel model;
+  for (double a = 0.0; a < 175.0; a += 5.0) {
+    EXPECT_GE(model.positional_gain(a) + 1e-12,
+              model.positional_gain(a + 5.0));
+  }
+}
+
+TEST(Propagation, BodyBlockageOnlyWhenHandheld) {
+  const PropagationModel model;
+  // Walking away from the panel (theta_m = 0): blocked.
+  EXPECT_NEAR(model.body_blockage(0.0, Activity::kWalking),
+              model.config().body_blockage_factor, 1e-12);
+  // Walking toward it: clear.
+  EXPECT_NEAR(model.body_blockage(180.0, Activity::kWalking), 1.0, 1e-12);
+  // Driving: vehicle model handles it instead.
+  EXPECT_NEAR(model.body_blockage(0.0, Activity::kDriving), 1.0, 1e-12);
+}
+
+TEST(Propagation, BodyBlockageMonotoneInMobilityAngle) {
+  const PropagationModel model;
+  for (double a = 0.0; a < 180.0; a += 10.0) {
+    EXPECT_LE(model.body_blockage(a, Activity::kWalking),
+              model.body_blockage(a + 10.0, Activity::kWalking) + 1e-12);
+  }
+}
+
+TEST(Propagation, VehicleCliffPastFiveKmph) {
+  const PropagationModel model;
+  const double stopped = model.vehicle_factor(4.0 / 3.6, Activity::kDriving);
+  const double moving = model.vehicle_factor(30.0 / 3.6, Activity::kDriving);
+  EXPECT_GT(stopped, 2.0 * moving);  // paper Fig. 14a's cliff
+  EXPECT_EQ(model.vehicle_factor(2.0, Activity::kWalking), 1.0);
+}
+
+TEST(Propagation, VehicleFactorMonotoneDecreasingInSpeed) {
+  const PropagationModel model;
+  double prev = 10.0;
+  for (double kmph = 6.0; kmph <= 60.0; kmph += 6.0) {
+    const double f = model.vehicle_factor(kmph / 3.6, Activity::kDriving);
+    EXPECT_LE(f, prev + 1e-12);
+    EXPECT_GT(f, 0.0);
+    prev = f;
+  }
+}
+
+TEST(Propagation, ReflectionSalvagesBlockedPath) {
+  const PropagationModel model;
+  const Panel panel{1, {0, 0}, 0.0};
+  UEContext ue;
+  ue.pos = {0, 50};
+  ue.heading_deg = 180.0;
+  std::vector<Wall> walls{{{-5, 25}, {5, 25}, 0.0, "concrete"}};
+  const double blocked = model.mean_capacity(panel, ue, walls, false);
+  const double reflected = model.mean_capacity(panel, ue, walls, true);
+  EXPECT_EQ(blocked, 0.0);
+  EXPECT_GT(reflected, 0.0);
+}
+
+// ---------- fading ----------
+
+TEST(Fading, ShadowingIsTemporallyCorrelated) {
+  FadingConfig cfg;
+  Rng rng(1);
+  ShadowingProcess shadow(cfg, rng);
+  // Lag-1 autocorrelation of log-factors should be near rho.
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(std::log(shadow.step(rng)));
+  double num = 0.0, den = 0.0, mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    num += (xs[i] - mean) * (xs[i - 1] - mean);
+  }
+  for (double x : xs) den += (x - mean) * (x - mean);
+  EXPECT_NEAR(num / den, cfg.shadow_rho, 0.05);
+}
+
+TEST(Fading, FastFadingIsMeanOne) {
+  FadingConfig cfg;
+  Rng rng(2);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += fast_fading(cfg, rng);
+  EXPECT_NEAR(sum / 20000.0, 1.0, 0.02);
+}
+
+// ---------- LTE ----------
+
+TEST(Lte, CapacityWithinConfiguredBounds) {
+  const LteModel lte;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const geo::Vec2 pos{rng.uniform(-500.0, 500.0),
+                        rng.uniform(-500.0, 500.0)};
+    const double c = lte.capacity(pos, rng);
+    EXPECT_GE(c, lte.config().min_mbps);
+    EXPECT_LE(c, lte.config().max_mbps);
+  }
+}
+
+TEST(Lte, MeanFieldIsDeterministicInSpace) {
+  const LteModel lte;
+  EXPECT_EQ(lte.mean_capacity({10, 20}), lte.mean_capacity({10, 20}));
+  // Nearby points are similar (smooth field)...
+  EXPECT_NEAR(lte.mean_capacity({10, 20}), lte.mean_capacity({11, 20}), 8.0);
+}
+
+TEST(Lte, FieldVariesAcrossSpace) {
+  const LteModel lte;
+  double lo = 1e9, hi = 0.0;
+  for (double x = 0.0; x < 400.0; x += 10.0) {
+    const double c = lte.mean_capacity({x, 0.0});
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_GT(hi - lo, 30.0);
+}
+
+// ---------- connection manager ----------
+
+Environment simple_env() {
+  Environment env("test", geo::LatLon{45.0, -93.0});
+  env.add_panel({1, {0.0, 0.0}, 0.0});
+  env.add_panel({2, {0.0, 200.0}, 180.0});
+  return env;
+}
+
+TEST(Connection, ServesNearestPanelInItsBeam) {
+  Environment env = simple_env();
+  Rng rng(4);
+  ConnectionManager conn(env, rng);
+  UEContext ue{{0.0, 30.0}, 180.0, 1.4, Activity::kWalking};
+  const TickResult r = conn.tick(ue, rng);
+  EXPECT_EQ(r.radio, RadioType::kNrMmWave);
+  EXPECT_EQ(r.cell_id, 1);
+  EXPECT_GT(r.throughput_mbps, 100.0);
+}
+
+TEST(Connection, HorizontalHandoffOnTraversal) {
+  Environment env = simple_env();
+  Rng rng(5);
+  ConnectionManager conn(env, rng);
+  // Walk from panel 1's zone into panel 2's zone.
+  int handoffs = 0;
+  int last_cell = -1;
+  for (int t = 0; t < 180; ++t) {
+    const double y = 10.0 + t * 1.0;
+    UEContext ue{{0.0, y}, 0.0, 1.0, Activity::kWalking};
+    const TickResult r = conn.tick(ue, rng);
+    if (r.horizontal_handoff) ++handoffs;
+    last_cell = r.cell_id;
+  }
+  EXPECT_GE(handoffs, 1);
+  EXPECT_EQ(last_cell, 2);
+}
+
+TEST(Connection, HandoffSecondHasOutage) {
+  Environment env = simple_env();
+  Rng rng(6);
+  ConnectionManager conn(env, rng);
+  double pre_handoff = 0.0;
+  for (int t = 0; t < 180; ++t) {
+    const double y = 10.0 + t * 1.0;
+    UEContext ue{{0.0, y}, 0.0, 1.0, Activity::kWalking};
+    const TickResult r = conn.tick(ue, rng);
+    if (r.horizontal_handoff) {
+      EXPECT_LT(r.throughput_mbps, pre_handoff * 0.5)
+          << "handoff at t=" << t << " should dent throughput";
+      return;
+    }
+    pre_handoff = r.throughput_mbps;
+  }
+  FAIL() << "no handoff observed";
+}
+
+TEST(Connection, FallsBackToLteInDeadZone) {
+  Environment env("dead", geo::LatLon{45.0, -93.0});
+  env.add_panel({1, {0.0, 0.0}, 0.0});
+  Rng rng(7);
+  ConnectionManager conn(env, rng);
+  // 2 km away, far outside mmWave range.
+  UEContext ue{{0.0, 2000.0}, 0.0, 1.0, Activity::kWalking};
+  TickResult r{};
+  for (int t = 0; t < 5; ++t) r = conn.tick(ue, rng);
+  EXPECT_EQ(r.radio, RadioType::kLte);
+  EXPECT_GT(r.throughput_mbps, 10.0);  // LTE still delivers
+  EXPECT_LT(r.throughput_mbps, 250.0);
+}
+
+TEST(Connection, ReentersNrAfterCoverageReturns) {
+  Environment env = simple_env();
+  Rng rng(8);
+  ConnectionManager conn(env, rng);
+  UEContext far{{0.0, 3000.0}, 180.0, 1.0, Activity::kWalking};
+  for (int t = 0; t < 6; ++t) conn.tick(far, rng);
+  UEContext near{{0.0, 40.0}, 180.0, 1.0, Activity::kWalking};
+  bool vho = false;
+  TickResult r{};
+  for (int t = 0; t < 10; ++t) {
+    r = conn.tick(near, rng);
+    vho = vho || r.vertical_handoff;
+  }
+  EXPECT_TRUE(vho);
+  EXPECT_EQ(r.radio, RadioType::kNrMmWave);
+}
+
+TEST(Connection, SharingDividesThroughput) {
+  Environment env = simple_env();
+  Rng rng_a(9), rng_b(9);
+  ConnectionManager solo(env, rng_a), shared(env, rng_b);
+  // Far enough that the solo link stays below the UE modem cap (clamping
+  // would otherwise skew the solo/shared ratio).
+  UEContext ue{{0.0, 120.0}, 180.0, 0.0, Activity::kStill};
+  double solo_sum = 0.0, shared_sum = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    solo_sum += solo.tick(ue, rng_a, 1).throughput_mbps;
+    shared_sum += shared.tick(ue, rng_b, 2).throughput_mbps;
+  }
+  EXPECT_NEAR(shared_sum / solo_sum, 0.5, 0.05);
+}
+
+TEST(Connection, ThroughputNeverExceedsUeCap) {
+  Environment env = simple_env();
+  Rng rng(10);
+  ConnectionManager conn(env, rng);
+  UEContext ue{{0.0, 5.0}, 180.0, 0.0, Activity::kStill};
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_LE(conn.tick(ue, rng).throughput_mbps,
+              conn.config().ue_max_mbps);
+  }
+}
+
+// ---------- mobility ----------
+
+TEST(Mobility, TrajectoryLength) {
+  Trajectory t;
+  t.waypoints = {{0, 0}, {3, 4}, {3, 14}};
+  EXPECT_NEAR(t.length_m(), 15.0, 1e-12);
+}
+
+TEST(Mobility, WalkerCoversTrajectory) {
+  Trajectory t;
+  t.waypoints = {{0, 0}, {100, 0}};
+  MotionConfig cfg;
+  cfg.mode = Activity::kWalking;
+  Rng rng(11);
+  MotionSimulator sim(t, cfg, {}, rng);
+  int steps = 0;
+  MotionSample m;
+  while (!sim.finished() && steps < 500) {
+    m = sim.step(rng);
+    ++steps;
+    EXPECT_GE(m.speed_mps, 0.0);
+    EXPECT_LE(m.speed_mps, 2.5);
+  }
+  EXPECT_TRUE(sim.finished());
+  EXPECT_NEAR(m.pos.x, 100.0, 3.0);
+  // ~100m at ~1.4 m/s: between 40 and 250 seconds.
+  EXPECT_GT(steps, 40);
+  EXPECT_LT(steps, 250);
+}
+
+TEST(Mobility, WalkerHeadingFollowsSegments) {
+  Trajectory t;
+  t.waypoints = {{0, 0}, {0, 50}};
+  MotionConfig cfg;
+  Rng rng(12);
+  MotionSimulator sim(t, cfg, {}, rng);
+  const MotionSample m = sim.step(rng);
+  EXPECT_NEAR(m.heading_deg, 0.0, 1e-9);  // due north
+}
+
+TEST(Mobility, DriverStopsAtStopPoint) {
+  Trajectory t;
+  t.waypoints = {{0, 0}, {500, 0}};
+  MotionConfig cfg;
+  cfg.mode = Activity::kDriving;
+  cfg.stop_probability = 1.0;  // always red
+  Rng rng(13);
+  MotionSimulator sim(t, cfg, {{250.0, 0.0}}, rng);
+  bool stopped_mid = false;
+  int steps = 0;
+  while (!sim.finished() && steps < 600) {
+    const MotionSample m = sim.step(rng);
+    ++steps;
+    if (m.speed_mps == 0.0 && m.pos.x > 200.0 && m.pos.x < 300.0) {
+      stopped_mid = true;
+    }
+  }
+  EXPECT_TRUE(stopped_mid);
+}
+
+TEST(Mobility, DriverReachesCruiseSpeed) {
+  Trajectory t;
+  t.waypoints = {{0, 0}, {800, 0}};
+  MotionConfig cfg;
+  cfg.mode = Activity::kDriving;
+  cfg.stop_probability = 0.0;
+  Rng rng(14);
+  MotionSimulator sim(t, cfg, {}, rng);
+  double top = 0.0;
+  while (!sim.finished()) {
+    top = std::max(top, sim.step(rng).speed_mps);
+  }
+  EXPECT_GT(top * 3.6, 24.0);
+  EXPECT_LT(top * 3.6, 46.0);  // paper: loop driving 0-45 kmph
+}
+
+// ---------- sensors ----------
+
+TEST(Sensors, GpsNoiseMatchesReportedAccuracy) {
+  SensorConfig cfg;
+  cfg.gps_bad_run_prob = 0.0;
+  Rng rng(15);
+  const geo::LocalFrame frame({45.0, -93.0});
+  SensorModel model(cfg, rng);
+  MotionSample truth;
+  truth.pos = {100.0, 100.0};
+  truth.heading_deg = 90.0;
+  truth.speed_mps = 1.4;
+  double err_sum = 0.0;
+  int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const SensorReading r =
+        model.observe(truth, Activity::kWalking, frame, rng);
+    const geo::Vec2 obs = frame.to_local({r.latitude, r.longitude});
+    err_sum += std::hypot(obs.x - 100.0, obs.y - 100.0);
+    EXPECT_GT(r.gps_accuracy_m, 0.0);
+  }
+  // Mean radial error of 2-D Gaussian ~ sigma * sqrt(pi/2).
+  const double expected = model.run_gps_sigma() * std::sqrt(3.14159 / 2.0);
+  EXPECT_NEAR(err_sum / n, expected, expected * 0.3);
+}
+
+TEST(Sensors, ActivityMostlyCorrect) {
+  SensorConfig cfg;
+  Rng rng(16);
+  const geo::LocalFrame frame({45.0, -93.0});
+  SensorModel model(cfg, rng);
+  MotionSample truth;
+  truth.speed_mps = 1.4;
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (model.observe(truth, Activity::kWalking, frame, rng).activity ==
+        Activity::kWalking) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, 180);
+}
+
+TEST(Sensors, BadGpsRunsExist) {
+  SensorConfig cfg;
+  cfg.gps_bad_run_prob = 1.0;
+  Rng rng(17);
+  SensorModel model(cfg, rng);
+  EXPECT_GE(model.run_gps_sigma(), cfg.gps_bad_sigma_m);
+}
+
+// ---------- collector & areas ----------
+
+TEST(Collector, ProducesOneRecordPerSecondPerRun) {
+  Area area = make_airport();
+  data::Dataset ds;
+  MeasurementCollector collector(area.env);
+  CollectorConfig cfg;
+  cfg.n_runs = 2;
+  MotionConfig motion;
+  collector.collect(area.walking[1], motion, {}, cfg, 42, ds);
+  ASSERT_GT(ds.size(), 100u);
+  const auto runs = ds.runs();
+  EXPECT_EQ(runs.size(), 2u);
+  for (const auto& run : runs) {
+    for (std::size_t i = 1; i < run.size(); ++i) {
+      EXPECT_EQ(ds[run[i]].timestamp_s, ds[run[i - 1]].timestamp_s + 1.0);
+    }
+  }
+}
+
+TEST(Collector, RecordsCompleteTable1Fields) {
+  Area area = make_airport();
+  data::Dataset ds;
+  MeasurementCollector collector(area.env);
+  CollectorConfig cfg;
+  cfg.n_runs = 1;
+  MotionConfig motion;
+  collector.collect(area.walking[0], motion, {}, cfg, 7, ds);
+  ASSERT_FALSE(ds.empty());
+  const auto& s = ds[10];
+  EXPECT_EQ(s.area, "airport");
+  EXPECT_NE(s.latitude, 0.0);
+  EXPECT_NE(s.longitude, 0.0);
+  EXPECT_GE(s.throughput_mbps, 0.0);
+  EXPECT_TRUE(s.has_panel_geometry());
+  EXPECT_GE(s.theta_p_deg, 0.0);
+  EXPECT_LE(s.theta_p_deg, 180.0);
+  EXPECT_GE(s.theta_m_deg, 0.0);
+  EXPECT_LE(s.theta_m_deg, 180.0);
+  EXPECT_LT(s.nr_ssrsrp, -50.0);
+  EXPECT_GT(s.nr_ssrsrp, -141.0);
+}
+
+TEST(Collector, LteLockedUeNeverOn5G) {
+  Area area = make_loop();
+  data::Dataset ds;
+  MeasurementCollector collector(area.env);
+  CollectorConfig cfg;
+  cfg.n_runs = 1;
+  cfg.lock_lte = true;
+  MotionConfig motion;
+  collector.collect(area.walking[0], motion, {}, cfg, 8, ds);
+  for (const auto& s : ds.samples()) {
+    EXPECT_EQ(s.radio_type, RadioType::kLte);
+    EXPECT_LT(s.throughput_mbps, 250.0);
+  }
+}
+
+TEST(Collector, DeterministicGivenSeed) {
+  Area area = make_airport();
+  data::Dataset a, b;
+  MeasurementCollector collector(area.env);
+  CollectorConfig cfg;
+  cfg.n_runs = 1;
+  MotionConfig motion;
+  collector.collect(area.walking[0], motion, {}, cfg, 99, a);
+  collector.collect(area.walking[0], motion, {}, cfg, 99, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].throughput_mbps, b[i].throughput_mbps);
+    EXPECT_DOUBLE_EQ(a[i].latitude, b[i].latitude);
+  }
+}
+
+TEST(Areas, FactoriesMatchPaperTable2) {
+  const Area airport = make_airport();
+  EXPECT_EQ(airport.walking.size(), 2u);  // NB + SB
+  EXPECT_EQ(airport.env.panels().size(), 2u);
+  EXPECT_TRUE(airport.env.panels_surveyed());
+
+  const Area intersection = make_intersection();
+  EXPECT_EQ(intersection.walking.size(), 12u);
+  EXPECT_EQ(intersection.env.panels().size(), 6u);  // 3 dual-panel towers
+
+  const Area loop = make_loop();
+  EXPECT_FALSE(loop.env.panels_surveyed());
+  EXPECT_NEAR(loop.walking[0].length_m(), 1300.0, 1.0);
+}
+
+TEST(Areas, IntersectionTrajectoryLengthsMatchPaper) {
+  const Area intersection = make_intersection();
+  for (std::size_t i = 0; i < 8; ++i) {  // the straight arms
+    EXPECT_NEAR(intersection.walking[i].length_m(), 260.0, 20.0);
+  }
+}
+
+TEST(Areas, CollectAreaDatasetCleansAndFills) {
+  const Area area = make_airport();
+  const data::Dataset ds = collect_area_dataset(area, 3, 0, 123);
+  ASSERT_GT(ds.size(), 500u);
+  for (const auto& s : ds.samples()) {
+    EXPECT_NE(s.pixel_x, 0);  // pixelization ran
+    EXPECT_LE(s.gps_accuracy_m, 7.0);  // bad-GPS runs dropped
+  }
+}
+
+// ---------- congestion ----------
+
+TEST(Congestion, AirtimeSharingStaircase) {
+  const Area area = make_airport();
+  CongestionConfig cfg;
+  cfg.position = {0.0, 75.0};  // ~25 m in front of the north panel
+  cfg.heading_deg = 0.0;
+  const CongestionResult res =
+      run_congestion_experiment(area.env, cfg, 2024);
+  ASSERT_EQ(res.throughput.size(), 4u);
+  ASSERT_EQ(res.active_count.size(), 240u);
+  EXPECT_EQ(res.active_count[0], 1);
+  EXPECT_EQ(res.active_count[239], 4);
+
+  // UE1 alone vs UE1 sharing with 3 others: about 4x reduction.
+  double solo = 0.0, crowded = 0.0;
+  for (int t = 10; t < 55; ++t) solo += res.throughput[0][static_cast<std::size_t>(t)];
+  for (int t = 190; t < 235; ++t) crowded += res.throughput[0][static_cast<std::size_t>(t)];
+  EXPECT_GT(solo / crowded, 2.5);
+  EXPECT_LT(solo / crowded, 6.0);
+
+  // UE2 inactive during the first minute.
+  EXPECT_TRUE(std::isnan(res.throughput[1][10]));
+  EXPECT_FALSE(std::isnan(res.throughput[1][70]));
+}
+
+}  // namespace
+}  // namespace lumos::sim

@@ -1,0 +1,295 @@
+// Tests for lumos::stats — descriptive statistics, special functions,
+// hypothesis tests (t, Levene), normality tests and rank correlation,
+// validated against known reference values and distributional properties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/distribution.h"
+#include "stats/hypothesis.h"
+#include "stats/normality.h"
+#include "stats/special_functions.h"
+
+namespace lumos::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mean, double sd,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal(mean, sd);
+  return v;
+}
+
+std::vector<double> exponential_sample(std::size_t n, double lambda,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.exponential(lambda);
+  return v;
+}
+
+// ---------- descriptive ----------
+
+TEST(Descriptive, MeanVarianceKnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(mean(v), 5.0, 1e-12);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingletonAreSafe) {
+  const std::vector<double> empty;
+  EXPECT_EQ(mean(empty), 0.0);
+  EXPECT_EQ(variance(empty), 0.0);
+  EXPECT_EQ(coefficient_of_variation(empty), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(variance(one), 0.0);
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  const std::vector<double> v{10.0, 20.0, 30.0};
+  EXPECT_NEAR(coefficient_of_variation(v), 10.0 / 20.0, 1e-12);
+}
+
+TEST(Descriptive, QuantilesInterpolate) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(median(v), 2.5, 1e-12);
+}
+
+TEST(Descriptive, SummaryMatchesComponents) {
+  const auto v = normal_sample(500, 10.0, 2.0, 1);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.n, 500u);
+  EXPECT_NEAR(s.mean, mean(v), 1e-12);
+  EXPECT_NEAR(s.median, median(v), 1e-12);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p75, s.max);
+}
+
+TEST(Descriptive, SkewnessOfSymmetricSampleIsSmall) {
+  const auto v = normal_sample(5000, 0.0, 1.0, 2);
+  EXPECT_NEAR(skewness(v), 0.0, 0.1);
+  EXPECT_NEAR(kurtosis(v), 3.0, 0.3);
+}
+
+TEST(Descriptive, SkewnessOfExponentialIsPositive) {
+  const auto v = exponential_sample(5000, 1.0, 3);
+  EXPECT_GT(skewness(v), 1.0);  // theory: 2
+  EXPECT_GT(kurtosis(v), 5.0);  // theory: 9
+}
+
+TEST(Descriptive, RanksHandleTies) {
+  const std::vector<double> v{10.0, 20.0, 20.0, 30.0};
+  const auto r = ranks(v);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], 2.5, 1e-12);
+  EXPECT_NEAR(r[2], 2.5, 1e-12);
+  EXPECT_NEAR(r[3], 4.0, 1e-12);
+}
+
+// ---------- special functions ----------
+
+TEST(SpecialFunctions, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(SpecialFunctions, TTwoSidedPValues) {
+  // t = 2.086 with df = 20 is the 97.5th percentile -> p = 0.05.
+  EXPECT_NEAR(t_two_sided_pvalue(2.086, 20.0), 0.05, 1e-3);
+  EXPECT_NEAR(t_two_sided_pvalue(0.0, 20.0), 1.0, 1e-12);
+  EXPECT_LT(t_two_sided_pvalue(10.0, 20.0), 1e-6);
+}
+
+TEST(SpecialFunctions, Chi2UpperPValues) {
+  // chi2 = 5.991 with df = 2 -> p = 0.05.
+  EXPECT_NEAR(chi2_upper_pvalue(5.991, 2.0), 0.05, 1e-3);
+  EXPECT_NEAR(chi2_upper_pvalue(0.0, 2.0), 1.0, 1e-12);
+}
+
+TEST(SpecialFunctions, FUpperPValues) {
+  // F(1, 10) at 4.965 -> p = 0.05.
+  EXPECT_NEAR(f_upper_pvalue(4.965, 1.0, 10.0), 0.05, 1e-3);
+  EXPECT_NEAR(f_upper_pvalue(0.0, 3.0, 10.0), 1.0, 1e-12);
+}
+
+TEST(SpecialFunctions, IncompleteBetaBoundaries) {
+  EXPECT_NEAR(reg_incomplete_beta(2.0, 3.0, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(reg_incomplete_beta(2.0, 3.0, 1.0), 1.0, 1e-12);
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(reg_incomplete_beta(1.0, 1.0, 0.37), 0.37, 1e-9);
+}
+
+TEST(SpecialFunctions, RegLowerGammaIsExponentialCdfForA1) {
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(reg_lower_gamma(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-9);
+}
+
+// ---------- hypothesis tests ----------
+
+TEST(TTest, DetectsMeanShift) {
+  const auto a = normal_sample(200, 0.0, 1.0, 10);
+  const auto b = normal_sample(200, 1.0, 1.0, 11);
+  EXPECT_LT(welch_t_test(a, b).p_value, 1e-6);
+  EXPECT_LT(student_t_test(a, b).p_value, 1e-6);
+}
+
+TEST(TTest, AcceptsEqualMeans) {
+  const auto a = normal_sample(200, 5.0, 1.0, 12);
+  const auto b = normal_sample(200, 5.0, 1.0, 13);
+  EXPECT_GT(welch_t_test(a, b).p_value, 0.01);
+}
+
+TEST(TTest, TinySamplesReturnNeutralResult) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{2.0, 3.0};
+  EXPECT_EQ(welch_t_test(a, b).p_value, 1.0);
+}
+
+TEST(TTest, SymmetricInArguments) {
+  const auto a = normal_sample(100, 0.0, 1.0, 14);
+  const auto b = normal_sample(150, 0.4, 1.5, 15);
+  EXPECT_NEAR(welch_t_test(a, b).p_value, welch_t_test(b, a).p_value, 1e-12);
+}
+
+TEST(Levene, DetectsVarianceDifference) {
+  const auto a = normal_sample(300, 0.0, 1.0, 16);
+  const auto b = normal_sample(300, 0.0, 3.0, 17);
+  EXPECT_LT(levene_test(a, b).p_value, 1e-6);
+  EXPECT_LT(levene_test(a, b, LeveneCenter::kMedian).p_value, 1e-6);
+}
+
+TEST(Levene, AcceptsEqualVariances) {
+  const auto a = normal_sample(300, 0.0, 2.0, 18);
+  const auto b = normal_sample(300, 5.0, 2.0, 19);  // mean shift is fine
+  EXPECT_GT(levene_test(a, b).p_value, 0.01);
+}
+
+// ---------- normality ----------
+
+class NormalityOnNormal : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NormalityOnNormal, UsuallyAccepted) {
+  const auto v = normal_sample(300, 50.0, 10.0, GetParam());
+  EXPECT_TRUE(is_normal_either(v, 0.001));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalityOnNormal,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u, 26u,
+                                           27u, 28u));
+
+class NormalityOnExponential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NormalityOnExponential, Rejected) {
+  const auto v = exponential_sample(300, 1.0, GetParam());
+  EXPECT_FALSE(is_normal_either(v, 0.001));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalityOnExponential,
+                         ::testing::Values(31u, 32u, 33u, 34u, 35u, 36u));
+
+TEST(Normality, DagostinoRejectsBimodal) {
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) {
+    v.push_back(i % 2 == 0 ? 0.0 : 10.0);
+  }
+  Rng rng(40);
+  for (auto& x : v) x += rng.normal(0.0, 0.1);
+  EXPECT_LT(dagostino_pearson_test(v).p_value, 0.001);
+}
+
+TEST(Normality, ConstantSampleIsDegenerate) {
+  const std::vector<double> v(50, 7.0);
+  EXPECT_EQ(dagostino_pearson_test(v).p_value, 0.0);
+  EXPECT_EQ(anderson_darling_test(v).p_value, 0.0);
+}
+
+TEST(Normality, TinySampleIsNeutral) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(dagostino_pearson_test(v).p_value, 1.0);
+}
+
+// ---------- correlation ----------
+
+TEST(Correlation, PearsonPerfectLinear) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> ny{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, ny), -1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinearIsOne) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{1.0, 8.0, 27.0, 64.0, 125.0};  // x^3
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanReversedIsMinusOne) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{10.0, 8.0, 7.0, 3.0, 1.0};
+  EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentSamplesNearZero) {
+  const auto x = normal_sample(2000, 0.0, 1.0, 50);
+  const auto y = normal_sample(2000, 0.0, 1.0, 51);
+  EXPECT_NEAR(spearman(x, y), 0.0, 0.08);
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.08);
+}
+
+TEST(Correlation, DegenerateInputsReturnZero) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_EQ(pearson(x, c), 0.0);
+  const std::vector<double> short_y{1.0};
+  EXPECT_EQ(pearson(x, short_y), 0.0);
+}
+
+// ---------- distribution helpers ----------
+
+TEST(Histogram, CountsSumToN) {
+  const auto v = normal_sample(1000, 0.0, 1.0, 60);
+  const auto h = histogram(v, 20);
+  std::size_t total = 0;
+  for (const auto& b : h) total += b.count;
+  EXPECT_EQ(total, v.size());
+  EXPECT_EQ(h.size(), 20u);
+}
+
+TEST(Histogram, DegenerateSingleValue) {
+  const std::vector<double> v(10, 4.0);
+  const auto h = histogram(v, 5);
+  std::size_t total = 0;
+  for (const auto& b : h) total += b.count;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(Ecdf, MatchesDefinition) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(ecdf_at(v, 2.5), 0.5, 1e-12);
+  EXPECT_NEAR(ecdf_at(v, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(ecdf_at(v, 4.0), 1.0, 1e-12);
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  const auto v = normal_sample(500, 0.0, 1.0, 61);
+  const auto curve = ecdf_curve(v, 50);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace lumos::stats
