@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_4g_vs_5g.dir/bench_a4_4g_vs_5g.cpp.o"
+  "CMakeFiles/bench_a4_4g_vs_5g.dir/bench_a4_4g_vs_5g.cpp.o.d"
+  "bench_a4_4g_vs_5g"
+  "bench_a4_4g_vs_5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_4g_vs_5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

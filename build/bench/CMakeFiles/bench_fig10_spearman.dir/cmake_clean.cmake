@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_spearman.dir/bench_fig10_spearman.cpp.o"
+  "CMakeFiles/bench_fig10_spearman.dir/bench_fig10_spearman.cpp.o.d"
+  "bench_fig10_spearman"
+  "bench_fig10_spearman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_spearman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_positional.dir/bench_fig13_positional.cpp.o"
+  "CMakeFiles/bench_fig13_positional.dir/bench_fig13_positional.cpp.o.d"
+  "bench_fig13_positional"
+  "bench_fig13_positional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_positional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_speed.dir/bench_fig14_speed.cpp.o"
+  "CMakeFiles/bench_fig14_speed.dir/bench_fig14_speed.cpp.o.d"
+  "bench_fig14_speed"
+  "bench_fig14_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

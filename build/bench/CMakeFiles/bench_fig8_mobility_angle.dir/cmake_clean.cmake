@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_mobility_angle.dir/bench_fig8_mobility_angle.cpp.o"
+  "CMakeFiles/bench_fig8_mobility_angle.dir/bench_fig8_mobility_angle.cpp.o.d"
+  "bench_fig8_mobility_angle"
+  "bench_fig8_mobility_angle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mobility_angle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_factors.dir/bench_table4_factors.cpp.o"
+  "CMakeFiles/bench_table4_factors.dir/bench_table4_factors.cpp.o.d"
+  "bench_table4_factors"
+  "bench_table4_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

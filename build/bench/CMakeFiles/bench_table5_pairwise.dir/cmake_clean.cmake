@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_pairwise.dir/bench_table5_pairwise.cpp.o"
+  "CMakeFiles/bench_table5_pairwise.dir/bench_table5_pairwise.cpp.o.d"
+  "bench_table5_pairwise"
+  "bench_table5_pairwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsourced_map.dir/crowdsourced_map.cpp.o"
+  "CMakeFiles/crowdsourced_map.dir/crowdsourced_map.cpp.o.d"
+  "crowdsourced_map"
+  "crowdsourced_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsourced_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_map.dir/throughput_map.cpp.o"
+  "CMakeFiles/throughput_map.dir/throughput_map.cpp.o.d"
+  "throughput_map"
+  "throughput_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

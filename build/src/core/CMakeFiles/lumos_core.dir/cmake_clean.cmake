@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_core.dir/crowd.cpp.o"
+  "CMakeFiles/lumos_core.dir/crowd.cpp.o.d"
+  "CMakeFiles/lumos_core.dir/evaluate.cpp.o"
+  "CMakeFiles/lumos_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/lumos_core.dir/lumos5g.cpp.o"
+  "CMakeFiles/lumos_core.dir/lumos5g.cpp.o.d"
+  "CMakeFiles/lumos_core.dir/throughput_map.cpp.o"
+  "CMakeFiles/lumos_core.dir/throughput_map.cpp.o.d"
+  "liblumos_core.a"
+  "liblumos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/lumos_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/lumos_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/lumos_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/lumos_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/features.cpp" "src/data/CMakeFiles/lumos_data.dir/features.cpp.o" "gcc" "src/data/CMakeFiles/lumos_data.dir/features.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/lumos_data.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/lumos_data.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/lumos_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lumos_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lumos_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_data.dir/csv.cpp.o"
+  "CMakeFiles/lumos_data.dir/csv.cpp.o.d"
+  "CMakeFiles/lumos_data.dir/dataset.cpp.o"
+  "CMakeFiles/lumos_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/lumos_data.dir/features.cpp.o"
+  "CMakeFiles/lumos_data.dir/features.cpp.o.d"
+  "CMakeFiles/lumos_data.dir/split.cpp.o"
+  "CMakeFiles/lumos_data.dir/split.cpp.o.d"
+  "liblumos_data.a"
+  "liblumos_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

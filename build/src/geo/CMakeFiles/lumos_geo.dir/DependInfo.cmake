@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/angles.cpp" "src/geo/CMakeFiles/lumos_geo.dir/angles.cpp.o" "gcc" "src/geo/CMakeFiles/lumos_geo.dir/angles.cpp.o.d"
+  "/root/repo/src/geo/coordinates.cpp" "src/geo/CMakeFiles/lumos_geo.dir/coordinates.cpp.o" "gcc" "src/geo/CMakeFiles/lumos_geo.dir/coordinates.cpp.o.d"
+  "/root/repo/src/geo/grid.cpp" "src/geo/CMakeFiles/lumos_geo.dir/grid.cpp.o" "gcc" "src/geo/CMakeFiles/lumos_geo.dir/grid.cpp.o.d"
+  "/root/repo/src/geo/local_frame.cpp" "src/geo/CMakeFiles/lumos_geo.dir/local_frame.cpp.o" "gcc" "src/geo/CMakeFiles/lumos_geo.dir/local_frame.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_geo.dir/angles.cpp.o"
+  "CMakeFiles/lumos_geo.dir/angles.cpp.o.d"
+  "CMakeFiles/lumos_geo.dir/coordinates.cpp.o"
+  "CMakeFiles/lumos_geo.dir/coordinates.cpp.o.d"
+  "CMakeFiles/lumos_geo.dir/grid.cpp.o"
+  "CMakeFiles/lumos_geo.dir/grid.cpp.o.d"
+  "CMakeFiles/lumos_geo.dir/local_frame.cpp.o"
+  "CMakeFiles/lumos_geo.dir/local_frame.cpp.o.d"
+  "liblumos_geo.a"
+  "liblumos_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

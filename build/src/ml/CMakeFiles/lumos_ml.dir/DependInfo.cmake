@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/lumos_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/ml/CMakeFiles/lumos_ml.dir/gbdt.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/gbdt.cpp.o.d"
+  "/root/repo/src/ml/harmonic.cpp" "src/ml/CMakeFiles/lumos_ml.dir/harmonic.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/harmonic.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/lumos_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/kriging.cpp" "src/ml/CMakeFiles/lumos_ml.dir/kriging.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/kriging.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/lumos_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/lumos_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/lumos_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/lumos_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_ml.dir/forest.cpp.o"
+  "CMakeFiles/lumos_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/lumos_ml.dir/gbdt.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/harmonic.cpp.o"
+  "CMakeFiles/lumos_ml.dir/harmonic.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/knn.cpp.o"
+  "CMakeFiles/lumos_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/kriging.cpp.o"
+  "CMakeFiles/lumos_ml.dir/kriging.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/linalg.cpp.o"
+  "CMakeFiles/lumos_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/metrics.cpp.o"
+  "CMakeFiles/lumos_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/lumos_ml.dir/tree.cpp.o"
+  "CMakeFiles/lumos_ml.dir/tree.cpp.o.d"
+  "liblumos_ml.a"
+  "liblumos_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/lumos_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/lumos_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/lumos_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/lumos_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/lumos_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/lumos_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/lumos_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/lumos_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/lumos_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/lumos_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/seq2seq.cpp" "src/nn/CMakeFiles/lumos_nn.dir/seq2seq.cpp.o" "gcc" "src/nn/CMakeFiles/lumos_nn.dir/seq2seq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

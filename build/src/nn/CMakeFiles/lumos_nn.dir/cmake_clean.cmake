@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_nn.dir/adam.cpp.o"
+  "CMakeFiles/lumos_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/lumos_nn.dir/dense.cpp.o"
+  "CMakeFiles/lumos_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/lumos_nn.dir/loss.cpp.o"
+  "CMakeFiles/lumos_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/lumos_nn.dir/lstm.cpp.o"
+  "CMakeFiles/lumos_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/lumos_nn.dir/matrix.cpp.o"
+  "CMakeFiles/lumos_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/lumos_nn.dir/seq2seq.cpp.o"
+  "CMakeFiles/lumos_nn.dir/seq2seq.cpp.o.d"
+  "liblumos_nn.a"
+  "liblumos_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

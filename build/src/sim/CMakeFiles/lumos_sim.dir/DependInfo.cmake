@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/areas.cpp" "src/sim/CMakeFiles/lumos_sim.dir/areas.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/areas.cpp.o.d"
+  "/root/repo/src/sim/collector.cpp" "src/sim/CMakeFiles/lumos_sim.dir/collector.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/collector.cpp.o.d"
+  "/root/repo/src/sim/congestion.cpp" "src/sim/CMakeFiles/lumos_sim.dir/congestion.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/congestion.cpp.o.d"
+  "/root/repo/src/sim/connection.cpp" "src/sim/CMakeFiles/lumos_sim.dir/connection.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/connection.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/lumos_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/fading.cpp" "src/sim/CMakeFiles/lumos_sim.dir/fading.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/fading.cpp.o.d"
+  "/root/repo/src/sim/lte.cpp" "src/sim/CMakeFiles/lumos_sim.dir/lte.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/lte.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/sim/CMakeFiles/lumos_sim.dir/mobility.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/mobility.cpp.o.d"
+  "/root/repo/src/sim/obstacle.cpp" "src/sim/CMakeFiles/lumos_sim.dir/obstacle.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/obstacle.cpp.o.d"
+  "/root/repo/src/sim/propagation.cpp" "src/sim/CMakeFiles/lumos_sim.dir/propagation.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/propagation.cpp.o.d"
+  "/root/repo/src/sim/sensors.cpp" "src/sim/CMakeFiles/lumos_sim.dir/sensors.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/sensors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/lumos_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lumos_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lumos_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lumos_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

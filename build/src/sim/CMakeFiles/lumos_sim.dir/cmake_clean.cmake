@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_sim.dir/areas.cpp.o"
+  "CMakeFiles/lumos_sim.dir/areas.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/collector.cpp.o"
+  "CMakeFiles/lumos_sim.dir/collector.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/congestion.cpp.o"
+  "CMakeFiles/lumos_sim.dir/congestion.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/connection.cpp.o"
+  "CMakeFiles/lumos_sim.dir/connection.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/environment.cpp.o"
+  "CMakeFiles/lumos_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/fading.cpp.o"
+  "CMakeFiles/lumos_sim.dir/fading.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/lte.cpp.o"
+  "CMakeFiles/lumos_sim.dir/lte.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/mobility.cpp.o"
+  "CMakeFiles/lumos_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/obstacle.cpp.o"
+  "CMakeFiles/lumos_sim.dir/obstacle.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/propagation.cpp.o"
+  "CMakeFiles/lumos_sim.dir/propagation.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/sensors.cpp.o"
+  "CMakeFiles/lumos_sim.dir/sensors.cpp.o.d"
+  "liblumos_sim.a"
+  "liblumos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

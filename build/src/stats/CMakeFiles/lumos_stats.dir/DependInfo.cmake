@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/lumos_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/lumos_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/lumos_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/lumos_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/lumos_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/lumos_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/lumos_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/lumos_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/normality.cpp" "src/stats/CMakeFiles/lumos_stats.dir/normality.cpp.o" "gcc" "src/stats/CMakeFiles/lumos_stats.dir/normality.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/lumos_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/lumos_stats.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

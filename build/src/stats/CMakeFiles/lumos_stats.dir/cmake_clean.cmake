@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_stats.dir/correlation.cpp.o"
+  "CMakeFiles/lumos_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/lumos_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/distribution.cpp.o"
+  "CMakeFiles/lumos_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/lumos_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/normality.cpp.o"
+  "CMakeFiles/lumos_stats.dir/normality.cpp.o.d"
+  "CMakeFiles/lumos_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/lumos_stats.dir/special_functions.cpp.o.d"
+  "liblumos_stats.a"
+  "liblumos_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
