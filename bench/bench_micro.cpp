@@ -5,11 +5,14 @@
 // short-term inference must be lightweight).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <map>
 
+#include "common/parallel.h"
 #include "core/lumos5g.h"
 #include "core/throughput_map.h"
 #include "data/features.h"
+#include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/knn.h"
 #include "nn/seq2seq.h"
@@ -143,6 +146,62 @@ void BM_GdbtTrain1k(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GdbtTrain1k)->Unit(benchmark::kMillisecond);
+
+// ---- serial vs parallel engine (Arg = thread-pool size) ----
+//
+// The same fits as above but with the global pool pinned to Arg threads;
+// Arg(1) is the sequential fallback path, Arg(4) the threaded path.
+// Results are bit-identical across Args (see tests/test_parallel.cpp) —
+// only the wall clock may differ, and only on multi-core hosts.
+
+void BM_GdbtTrainThreads(benchmark::State& state) {
+  const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M+C"), {});
+  ThreadPool::global().set_threads(static_cast<std::size_t>(state.range(0)));
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = 60;
+  for (auto _ : state) {
+    ml::GbdtRegressor model(cfg);
+    model.fit(built.x, built.y_reg);
+    benchmark::DoNotOptimize(model);
+  }
+  ThreadPool::global().set_threads(0);  // back to LUMOS_THREADS / hardware
+}
+BENCHMARK(BM_GdbtTrainThreads)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_RfTrainThreads(benchmark::State& state) {
+  const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M+C"), {});
+  ThreadPool::global().set_threads(static_cast<std::size_t>(state.range(0)));
+  ml::ForestConfig cfg;
+  cfg.n_trees = 30;
+  for (auto _ : state) {
+    ml::RandomForestRegressor model(cfg);
+    model.fit(built.x, built.y_reg);
+    benchmark::DoNotOptimize(model);
+  }
+  ThreadPool::global().set_threads(0);
+}
+BENCHMARK(BM_RfTrainThreads)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_PredictAllThreads(benchmark::State& state) {
+  const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M+C"), {});
+  static ml::KnnRegressor knn;
+  static bool fitted = false;
+  if (!fitted) {
+    knn.fit(built.x, built.y_reg);
+    fitted = true;
+  }
+  ThreadPool::global().set_threads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.predict_all(built.x));
+  }
+  ThreadPool::global().set_threads(0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(built.x.rows()));
+}
+BENCHMARK(BM_PredictAllThreads)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_ThroughputMapBuild(benchmark::State& state) {
   const auto& ds = airport_ds();

@@ -29,18 +29,25 @@ int main() {
   areas.push_back({"Airport", bench::airport_dataset()});
   areas.push_back({"Global", bench::global_dataset()});
 
-  // One pass over the full grid; results reused for both tables.
+  // One pass over the full grid; results reused for both tables. Each
+  // area's (group x model) cells evaluate concurrently on the global
+  // thread pool (LUMOS_THREADS); results are identical to the sequential
+  // sweep.
   // results[group][area][model(0=GDBT,1=Seq2Seq)]
   std::vector<std::vector<std::array<core::EvalResult, 2>>> results(
       std::size(kGroups));
-  for (std::size_t gi = 0; gi < std::size(kGroups); ++gi) {
-    results[gi].resize(areas.size());
-    const auto spec = data::FeatureSetSpec::parse(kGroups[gi]);
-    for (std::size_t ai = 0; ai < areas.size(); ++ai) {
-      results[gi][ai][0] =
-          core::evaluate_model(core::ModelKind::kGdbt, areas[ai].ds, spec, cfg);
-      results[gi][ai][1] = core::evaluate_model(core::ModelKind::kSeq2Seq,
-                                                areas[ai].ds, spec, cfg);
+  for (auto& row : results) row.resize(areas.size());
+  for (std::size_t ai = 0; ai < areas.size(); ++ai) {
+    std::vector<core::GridCell> cells;
+    for (const char* g : kGroups) {
+      const auto spec = data::FeatureSetSpec::parse(g);
+      cells.push_back({core::ModelKind::kGdbt, spec});
+      cells.push_back({core::ModelKind::kSeq2Seq, spec});
+    }
+    const auto cell_results = core::evaluate_grid(areas[ai].ds, cells, cfg);
+    for (std::size_t gi = 0; gi < std::size(kGroups); ++gi) {
+      results[gi][ai][0] = cell_results[gi * 2];
+      results[gi][ai][1] = cell_results[gi * 2 + 1];
     }
   }
 

@@ -22,14 +22,21 @@ int main() {
   const char* groups[] = {"L", "L+M", "T+M", "L+M+C", "T+M+C"};
 
   // Cache results so both sub-tables reuse one training pass per cell.
-  std::vector<std::vector<core::EvalResult>> results;
+  // All 25 (group, model) cells evaluate concurrently on the global
+  // thread pool (LUMOS_THREADS); results match the sequential sweep.
+  std::vector<core::GridCell> cells;
   for (const char* g : groups) {
-    std::vector<core::EvalResult> row;
     for (const auto kind : kModels) {
-      row.push_back(core::evaluate_model(
-          kind, ds, data::FeatureSetSpec::parse(g), cfg));
+      cells.push_back({kind, data::FeatureSetSpec::parse(g)});
     }
-    results.push_back(std::move(row));
+  }
+  const auto flat = core::evaluate_grid(ds, cells, cfg);
+  std::vector<std::vector<core::EvalResult>> results;
+  for (std::size_t gi = 0; gi < std::size(groups); ++gi) {
+    results.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(
+                                            gi * std::size(kModels)),
+                         flat.begin() + static_cast<std::ptrdiff_t>(
+                                            (gi + 1) * std::size(kModels)));
   }
 
   std::printf("\nRegression (MAE | RMSE, Mbps)\n");

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/nn/CMakeFiles/lumos_nn.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/lumos_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/geo/CMakeFiles/lumos_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lumos_common.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

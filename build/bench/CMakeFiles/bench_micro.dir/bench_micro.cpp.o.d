@@ -183,16 +183,45 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/lumos5g.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/data/dataset.h /usr/include/c++/12/functional \
+ /root/repo/src/common/parallel.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/data/sample.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/core/lumos5g.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/span /root/repo/src/data/dataset.h \
+ /root/repo/src/data/sample.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -216,15 +245,16 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /root/repo/src/geo/coordinates.h /root/repo/src/data/features.h \
  /root/repo/src/ml/types.h /root/repo/src/nn/seq2seq.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
  /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h \
  /root/repo/src/ml/gbdt.h /root/repo/src/ml/tree.h \
- /root/repo/src/core/throughput_map.h /root/repo/src/ml/knn.h \
- /root/repo/src/sim/areas.h /root/repo/src/sim/collector.h \
- /root/repo/src/sim/connection.h /root/repo/src/sim/environment.h \
- /root/repo/src/geo/local_frame.h /root/repo/src/sim/fading.h \
- /root/repo/src/sim/lte.h /root/repo/src/sim/obstacle.h \
- /root/repo/src/sim/panel.h /root/repo/src/sim/propagation.h \
- /root/repo/src/sim/mobility.h /root/repo/src/sim/sensors.h
+ /root/repo/src/core/throughput_map.h /root/repo/src/ml/forest.h \
+ /root/repo/src/ml/knn.h /root/repo/src/sim/areas.h \
+ /root/repo/src/sim/collector.h /root/repo/src/sim/connection.h \
+ /root/repo/src/sim/environment.h /root/repo/src/geo/local_frame.h \
+ /root/repo/src/sim/fading.h /root/repo/src/sim/lte.h \
+ /root/repo/src/sim/obstacle.h /root/repo/src/sim/panel.h \
+ /root/repo/src/sim/propagation.h /root/repo/src/sim/mobility.h \
+ /root/repo/src/sim/sensors.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_common.dir/parallel.cpp.o"
+  "CMakeFiles/lumos_common.dir/parallel.cpp.o.d"
+  "liblumos_common.a"
+  "liblumos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

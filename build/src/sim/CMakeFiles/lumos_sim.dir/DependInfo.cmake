@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/geo/CMakeFiles/lumos_geo.dir/DependInfo.cmake"
   "/root/repo/build/src/data/CMakeFiles/lumos_data.dir/DependInfo.cmake"
   "/root/repo/build/src/ml/CMakeFiles/lumos_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lumos_common.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/lumos_nn.dir/DependInfo.cmake"
   )
 

@@ -293,8 +293,8 @@ tests/CMakeFiles/test_core.dir/test_core.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/evaluate.h /root/repo/src/data/dataset.h \
- /usr/include/c++/12/span /root/repo/src/data/sample.h \
+ /root/repo/src/core/evaluate.h /usr/include/c++/12/span \
+ /root/repo/src/data/dataset.h /root/repo/src/data/sample.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -318,9 +318,12 @@ tests/CMakeFiles/test_core.dir/test_core.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/geo/coordinates.h /root/repo/src/data/features.h \
- /root/repo/src/ml/types.h /root/repo/src/nn/seq2seq.h \
- /root/repo/src/common/rng.h /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/ml/types.h /root/repo/src/common/parallel.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/nn/seq2seq.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
  /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h \

@@ -297,10 +297,13 @@ tests/CMakeFiles/test_data.dir/test_data.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/data/csv.h /root/repo/src/data/dataset.h \
- /usr/include/c++/12/span /root/repo/src/data/sample.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/data/csv.h \
+ /root/repo/src/data/dataset.h /usr/include/c++/12/span \
+ /root/repo/src/data/sample.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -322,9 +325,12 @@ tests/CMakeFiles/test_data.dir/test_data.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/geo/coordinates.h /root/repo/src/data/features.h \
- /root/repo/src/ml/types.h /root/repo/src/nn/seq2seq.h \
- /root/repo/src/common/rng.h /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/ml/types.h /root/repo/src/common/parallel.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/nn/seq2seq.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
  /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h \

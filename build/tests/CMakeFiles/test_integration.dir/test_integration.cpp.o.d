@@ -315,9 +315,13 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/evaluate.h \
- /root/repo/src/data/dataset.h /usr/include/c++/12/span \
+ /usr/include/c++/12/span /root/repo/src/data/dataset.h \
  /root/repo/src/data/sample.h /root/repo/src/geo/coordinates.h \
  /root/repo/src/data/features.h /root/repo/src/ml/types.h \
+ /root/repo/src/common/parallel.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/nn/seq2seq.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/adam.h \

@@ -314,11 +314,15 @@ tests/CMakeFiles/test_ml.dir/test_ml.cpp.o: /root/repo/tests/test_ml.cpp \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/rng.h \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
+ /root/repo/src/common/rng.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/ml/forest.h \
- /root/repo/src/ml/tree.h /usr/include/c++/12/span \
- /root/repo/src/ml/types.h /root/repo/src/ml/gbdt.h \
+ /root/repo/src/ml/tree.h /root/repo/src/ml/types.h \
+ /root/repo/src/common/parallel.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/ml/gbdt.h \
  /root/repo/src/ml/harmonic.h /root/repo/src/ml/knn.h \
  /root/repo/src/ml/kriging.h /root/repo/src/ml/linalg.h \
  /root/repo/src/ml/metrics.h

@@ -14,3 +14,8 @@ include("/root/repo/build/tests/test_core[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_props[1]_include.cmake")
 include("/root/repo/build/tests/test_crowd[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+add_test(test_parallel_env_threads1 "/root/repo/build/tests/test_parallel")
+set_tests_properties(test_parallel_env_threads1 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_parallel_env_threads8 "/root/repo/build/tests/test_parallel")
+set_tests_properties(test_parallel_env_threads8 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=8" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/parallel.h"
 #include "data/split.h"
 #include "ml/harmonic.h"
 #include "ml/metrics.h"
@@ -225,8 +226,10 @@ EvalResult eval_harmonic(const data::Dataset& ds,
   EvalResult out;
   const ml::HarmonicMeanPredictor hm(cfg.hm_window);
   std::vector<double> pred, truth;
+  std::size_t history_samples = 0;
   for (const auto& trace : ds.throughput_traces()) {
     if (trace.size() < cfg.hm_window + 2) continue;
+    history_samples += cfg.hm_window;  // warm-up samples never predicted
     for (std::size_t i = cfg.hm_window; i < trace.size(); ++i) {
       pred.push_back(
           hm.predict_next(std::span<const double>(trace).subspan(0, i)));
@@ -234,6 +237,7 @@ EvalResult eval_harmonic(const data::Dataset& ds,
     }
   }
   if (pred.empty()) return out;
+  out.n_train = history_samples;
   out.n_test = pred.size();
   out.mae = ml::mae(pred, truth);
   out.rmse = ml::rmse(pred, truth);
@@ -293,6 +297,21 @@ EvalResult evaluate_model(ModelKind kind, const data::Dataset& ds,
   r.model = out.model;
   r.feature_group = out.feature_group;
   return r;
+}
+
+std::vector<EvalResult> evaluate_grid(const data::Dataset& ds,
+                                      std::span<const GridCell> cells,
+                                      const ExperimentConfig& cfg) {
+  std::vector<EvalResult> out(cells.size());
+  // One cell per chunk: cells differ wildly in cost (Seq2Seq vs KNN), so
+  // fine chunking lets the pool balance them. Cells only read `ds`/`cfg`
+  // and write their own slot — no shared mutable state.
+  parallel_for(0, cells.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = evaluate_model(cells[i].kind, ds, cells[i].spec, cfg);
+    }
+  });
+  return out;
 }
 
 EvalResult evaluate_transfer(ModelKind kind, const data::Dataset& train_ds,

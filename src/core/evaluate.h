@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "data/features.h"
@@ -59,6 +61,20 @@ struct EvalResult {
 EvalResult evaluate_model(ModelKind kind, const data::Dataset& ds,
                           const data::FeatureSetSpec& spec,
                           const ExperimentConfig& cfg = {});
+
+/// One (model, feature group) cell of a Table 7/8/9-style sweep.
+struct GridCell {
+  ModelKind kind;
+  data::FeatureSetSpec spec;
+};
+
+/// Evaluates independent grid cells concurrently on the global thread pool
+/// (pool size = LUMOS_THREADS). Each cell is trained single-threaded while
+/// running on a pool worker (nested parallel regions fall back inline), so
+/// every EvalResult is identical to a sequential evaluate_model call.
+std::vector<EvalResult> evaluate_grid(const data::Dataset& ds,
+                                      std::span<const GridCell> cells,
+                                      const ExperimentConfig& cfg = {});
 
 /// Transferability (paper §6.2): train on `train_ds`, test on `test_ds`
 /// (e.g. North-panel vs South-panel samples), classification metrics only.

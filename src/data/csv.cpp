@@ -17,10 +17,20 @@ constexpr const char* kHeader =
     "ue_panel_distance_m,theta_p_deg,theta_m_deg,pixel_x,pixel_y";
 
 std::vector<std::string> split_line(const std::string& line) {
+  // Hand-rolled split: std::getline on a stringstream silently drops a
+  // trailing empty field, so "a,b," would parse as 2 fields instead of 3
+  // and surface as a misleading field-count error one column off.
   std::vector<std::string> out;
   std::string field;
-  std::stringstream ss(line);
-  while (std::getline(ss, field, ',')) out.push_back(field);
+  for (const char ch : line) {
+    if (ch == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(ch);
+    }
+  }
+  out.push_back(std::move(field));
   return out;
 }
 
@@ -72,37 +82,44 @@ Dataset read_csv(const std::string& path) {
     if (line.empty()) continue;
     const auto v = split_line(line);
     if (v.size() != 27) {
-      throw std::runtime_error("read_csv: bad field count at line " +
-                               std::to_string(lineno));
+      throw std::runtime_error(
+          "read_csv: bad field count at line " + std::to_string(lineno) +
+          ": got " + std::to_string(v.size()) +
+          " fields, expected 27 (a trailing ',' adds an empty 28th field)");
     }
     SampleRecord s;
-    s.area = v[0];
-    s.trajectory_id = std::stoi(v[1]);
-    s.run_id = std::stoi(v[2]);
-    s.timestamp_s = parse_double(v[3]);
-    s.latitude = parse_double(v[4]);
-    s.longitude = parse_double(v[5]);
-    s.gps_accuracy_m = parse_double(v[6]);
-    s.detected_activity = static_cast<Activity>(std::stoi(v[7]));
-    s.moving_speed_mps = parse_double(v[8]);
-    s.compass_deg = parse_double(v[9]);
-    s.compass_accuracy = parse_double(v[10]);
-    s.throughput_mbps = parse_double(v[11]);
-    s.radio_type = static_cast<RadioType>(std::stoi(v[12]));
-    s.cell_id = std::stoi(v[13]);
-    s.lte_rsrp = parse_double(v[14]);
-    s.lte_rsrq = parse_double(v[15]);
-    s.lte_rssi = parse_double(v[16]);
-    s.nr_ssrsrp = parse_double(v[17]);
-    s.nr_ssrsrq = parse_double(v[18]);
-    s.nr_ssrssi = parse_double(v[19]);
-    s.horizontal_handoff = v[20] == "1";
-    s.vertical_handoff = v[21] == "1";
-    s.ue_panel_distance_m = parse_double(v[22]);
-    s.theta_p_deg = parse_double(v[23]);
-    s.theta_m_deg = parse_double(v[24]);
-    s.pixel_x = std::stoll(v[25]);
-    s.pixel_y = std::stoll(v[26]);
+    try {
+      s.area = v[0];
+      s.trajectory_id = std::stoi(v[1]);
+      s.run_id = std::stoi(v[2]);
+      s.timestamp_s = parse_double(v[3]);
+      s.latitude = parse_double(v[4]);
+      s.longitude = parse_double(v[5]);
+      s.gps_accuracy_m = parse_double(v[6]);
+      s.detected_activity = static_cast<Activity>(std::stoi(v[7]));
+      s.moving_speed_mps = parse_double(v[8]);
+      s.compass_deg = parse_double(v[9]);
+      s.compass_accuracy = parse_double(v[10]);
+      s.throughput_mbps = parse_double(v[11]);
+      s.radio_type = static_cast<RadioType>(std::stoi(v[12]));
+      s.cell_id = std::stoi(v[13]);
+      s.lte_rsrp = parse_double(v[14]);
+      s.lte_rsrq = parse_double(v[15]);
+      s.lte_rssi = parse_double(v[16]);
+      s.nr_ssrsrp = parse_double(v[17]);
+      s.nr_ssrsrq = parse_double(v[18]);
+      s.nr_ssrssi = parse_double(v[19]);
+      s.horizontal_handoff = v[20] == "1";
+      s.vertical_handoff = v[21] == "1";
+      s.ue_panel_distance_m = parse_double(v[22]);
+      s.theta_p_deg = parse_double(v[23]);
+      s.theta_m_deg = parse_double(v[24]);
+      s.pixel_x = std::stoll(v[25]);
+      s.pixel_y = std::stoll(v[26]);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("read_csv: bad field value at line " +
+                               std::to_string(lineno) + ": " + e.what());
+    }
     ds.append(std::move(s));
   }
   return ds;

@@ -10,8 +10,12 @@ SplitIndices train_test_split(std::size_t n, double train_fraction,
                               std::uint64_t seed) {
   Rng rng(seed);
   auto perm = rng.permutation(n);
-  const auto k = static_cast<std::size_t>(
-      train_fraction * static_cast<double>(n));
+  // Clamp before the size_t cast: fractions > 1 (or rounding up to n+1)
+  // would otherwise index past the end of the permutation, and casting a
+  // negative product is undefined.
+  const double f = std::clamp(train_fraction, 0.0, 1.0);
+  const auto k =
+      std::min(n, static_cast<std::size_t>(f * static_cast<double>(n)));
   SplitIndices out;
   out.train.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(k));
   out.test.assign(perm.begin() + static_cast<std::ptrdiff_t>(k), perm.end());

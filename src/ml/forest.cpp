@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace lumos::ml {
 namespace {
 
@@ -11,11 +13,22 @@ std::size_t default_subsample(std::size_t d, std::size_t requested) noexcept {
 }
 
 std::vector<std::size_t> bootstrap(std::size_t n, double fraction, Rng& rng) {
+  if (n == 0) return {};
   const auto k = static_cast<std::size_t>(
       std::max(1.0, fraction * static_cast<double>(n)));
   std::vector<std::size_t> idx(k);
   for (auto& i : idx) i = static_cast<std::size_t>(rng.uniform_int(n));
   return idx;
+}
+
+/// Deterministic per-tree seed streams: the root generator is consumed
+/// once, in tree order, before any tree is fit, so each tree owns an
+/// independent Rng regardless of which thread fits it (or in what order).
+std::vector<std::uint64_t> tree_seeds(std::uint64_t seed, std::size_t n) {
+  Rng root(seed);
+  std::vector<std::uint64_t> seeds(n);
+  for (auto& s : seeds) s = root.next_u64();
+  return seeds;
 }
 
 }  // namespace
@@ -32,12 +45,15 @@ void RandomForestRegressor::fit(const FeatureMatrix& x,
   tc.lambda = 0.0;  // unregularized means, classic RF behaviour
   tc.feature_subsample = default_subsample(x.cols(), cfg_.feature_subsample);
 
-  Rng rng(cfg_.seed);
+  const auto seeds = tree_seeds(cfg_.seed, cfg_.n_trees);
   trees_.assign(cfg_.n_trees, {});
-  for (auto& tree : trees_) {
-    const auto idx = bootstrap(x.rows(), cfg_.bootstrap_fraction, rng);
-    tree.fit(codes, mapper_, y, hess, idx, tc, &rng);
-  }
+  parallel_for(0, cfg_.n_trees, 1, [&](std::size_t tb, std::size_t te) {
+    for (std::size_t t = tb; t < te; ++t) {
+      Rng rng(seeds[t]);
+      const auto idx = bootstrap(x.rows(), cfg_.bootstrap_fraction, rng);
+      trees_[t].fit(codes, mapper_, y, hess, idx, tc, &rng);
+    }
+  });
 }
 
 double RandomForestRegressor::predict(std::span<const double> row) const {
@@ -60,20 +76,23 @@ void RandomForestClassifier::fit(const FeatureMatrix& x,
   tc.lambda = 0.0;
   tc.feature_subsample = default_subsample(x.cols(), cfg_.feature_subsample);
 
-  Rng rng(cfg_.seed);
+  const auto seeds = tree_seeds(cfg_.seed, cfg_.n_trees);
   trees_.assign(cfg_.n_trees * static_cast<std::size_t>(n_classes), {});
-  std::vector<double> indicator(x.rows());
-  for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
-    const auto idx = bootstrap(x.rows(), cfg_.bootstrap_fraction, rng);
-    for (int c = 0; c < n_classes; ++c) {
-      for (std::size_t r = 0; r < x.rows(); ++r) {
-        indicator[r] = y[r] == c ? 1.0 : 0.0;
+  parallel_for(0, cfg_.n_trees, 1, [&](std::size_t tb, std::size_t te) {
+    std::vector<double> indicator(x.rows());
+    for (std::size_t t = tb; t < te; ++t) {
+      Rng rng(seeds[t]);
+      const auto idx = bootstrap(x.rows(), cfg_.bootstrap_fraction, rng);
+      for (int c = 0; c < n_classes; ++c) {
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+          indicator[r] = y[r] == c ? 1.0 : 0.0;
+        }
+        trees_[t * static_cast<std::size_t>(n_classes) +
+               static_cast<std::size_t>(c)]
+            .fit(codes, mapper_, indicator, hess, idx, tc, &rng);
       }
-      trees_[t * static_cast<std::size_t>(n_classes) +
-             static_cast<std::size_t>(c)]
-          .fit(codes, mapper_, indicator, hess, idx, tc, &rng);
     }
-  }
+  });
 }
 
 int RandomForestClassifier::predict(std::span<const double> row) const {

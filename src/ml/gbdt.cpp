@@ -4,10 +4,13 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
+
 namespace lumos::ml {
 namespace {
 
 std::vector<std::size_t> row_sample(std::size_t n, double fraction, Rng& rng) {
+  if (n == 0) return {};  // never fabricate an index into an empty matrix
   if (fraction >= 1.0) {
     std::vector<std::size_t> idx(n);
     std::iota(idx.begin(), idx.end(), std::size_t{0});
@@ -35,13 +38,17 @@ std::vector<double> normalized_gains(const std::vector<GradientTree>& trees,
 
 void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
   n_features_ = x.cols();
+  trees_.clear();
+  base_ = 0.0;
+  const std::size_t n = x.rows();
+  if (n == 0) return;  // empty training set: predict the 0 base margin
+
   mapper_.fit(x, cfg_.n_bins);
   const auto codes = mapper_.encode(x);
-  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
 
-  base_ = 0.0;
   for (double v : y) base_ += v;
-  if (n > 0) base_ /= static_cast<double>(n);
+  base_ /= static_cast<double>(n);
 
   std::vector<double> pred(n, base_);
   std::vector<double> residual(n);
@@ -58,9 +65,15 @@ void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
     for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - pred[i];
     const auto idx = row_sample(n, cfg_.subsample, rng);
     tree.fit(codes, mapper_, residual, hess, idx, tc, &rng);
-    for (std::size_t i = 0; i < n; ++i) {
-      pred[i] += cfg_.learning_rate * tree.predict(x.row(i));
-    }
+    // Margin update on the pre-binned codes: reaches the same leaves as
+    // re-traversing the raw rows, without re-binning every round. Rows are
+    // independent, so chunking across the pool keeps results identical.
+    parallel_for(0, n, 2048, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        pred[i] += cfg_.learning_rate *
+                   tree.predict_binned({&codes[i * d], d});
+      }
+    });
   }
 }
 
@@ -78,8 +91,7 @@ void GbdtClassifier::fit(const FeatureMatrix& x, std::span<const int> y,
                          int n_classes) {
   n_classes_ = n_classes;
   n_features_ = x.cols();
-  mapper_.fit(x, cfg_.n_bins);
-  const auto codes = mapper_.encode(x);
+  trees_.clear();
   const std::size_t n = x.rows();
   const auto kc = static_cast<std::size_t>(n_classes);
 
@@ -92,6 +104,11 @@ void GbdtClassifier::fit(const FeatureMatrix& x, std::span<const int> y,
         std::max(1e-9, counts[c] / std::max<double>(1.0, static_cast<double>(n)));
     base_[c] = std::log(p);
   }
+  if (n == 0) return;  // empty training set: predict the prior argmax
+
+  mapper_.fit(x, cfg_.n_bins);
+  const auto codes = mapper_.encode(x);
+  const std::size_t d = x.cols();
 
   // margins[i * kc + c]
   std::vector<double> margin(n * kc);
@@ -99,7 +116,7 @@ void GbdtClassifier::fit(const FeatureMatrix& x, std::span<const int> y,
     for (std::size_t c = 0; c < kc; ++c) margin[i * kc + c] = base_[c];
   }
 
-  std::vector<double> grad(n), hess(n), prob(kc);
+  std::vector<double> grad(n), hess(n);
   TreeConfig tc;
   tc.max_depth = cfg_.max_depth;
   tc.min_samples_leaf = cfg_.min_samples_leaf;
@@ -110,30 +127,37 @@ void GbdtClassifier::fit(const FeatureMatrix& x, std::span<const int> y,
   for (std::size_t stage = 0; stage < cfg_.n_estimators; ++stage) {
     const auto idx = row_sample(n, cfg_.subsample, rng);
     for (std::size_t c = 0; c < kc; ++c) {
-      // Softmax probabilities and the class-c gradient/hessian.
-      for (std::size_t i = 0; i < n; ++i) {
-        double mx = margin[i * kc];
-        for (std::size_t k = 1; k < kc; ++k) {
-          mx = std::max(mx, margin[i * kc + k]);
+      // Softmax probabilities and the class-c gradient/hessian. Each row
+      // writes only its own grad/hess slot, so the chunks are independent.
+      parallel_for(0, n, 1024, [&](std::size_t rb, std::size_t re) {
+        std::vector<double> prob(kc);
+        for (std::size_t i = rb; i < re; ++i) {
+          double mx = margin[i * kc];
+          for (std::size_t k = 1; k < kc; ++k) {
+            mx = std::max(mx, margin[i * kc + k]);
+          }
+          double z = 0.0;
+          for (std::size_t k = 0; k < kc; ++k) {
+            prob[k] = std::exp(margin[i * kc + k] - mx);
+            z += prob[k];
+          }
+          const double p = prob[c] / z;
+          const double target = y[i] == static_cast<int>(c) ? 1.0 : 0.0;
+          grad[i] = target - p;            // negative gradient
+          hess[i] = std::max(1e-9, p * (1.0 - p));
         }
-        double z = 0.0;
-        for (std::size_t k = 0; k < kc; ++k) {
-          prob[k] = std::exp(margin[i * kc + k] - mx);
-          z += prob[k];
-        }
-        const double p = prob[c] / z;
-        const double target = y[i] == static_cast<int>(c) ? 1.0 : 0.0;
-        grad[i] = target - p;            // negative gradient
-        hess[i] = std::max(1e-9, p * (1.0 - p));
-      }
+      });
       GradientTree& tree = trees_[stage * kc + c];
       tree.fit(codes, mapper_, grad, hess, idx, tc, &rng);
       const double lr_scale =
           cfg_.learning_rate * static_cast<double>(kc - 1) /
           static_cast<double>(kc);
-      for (std::size_t i = 0; i < n; ++i) {
-        margin[i * kc + c] += lr_scale * tree.predict(x.row(i));
-      }
+      parallel_for(0, n, 2048, [&](std::size_t rb, std::size_t re) {
+        for (std::size_t i = rb; i < re; ++i) {
+          margin[i * kc + c] += lr_scale *
+                                tree.predict_binned({&codes[i * d], d});
+        }
+      });
     }
   }
 }

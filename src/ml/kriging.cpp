@@ -5,18 +5,26 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace lumos::ml {
 
 void OrdinaryKriging::fit(const FeatureMatrix& x, std::span<const double> y) {
+  px_.clear();
+  py_.clear();
+  pv_.clear();
+  if (x.rows() == 0) {
+    // Empty training set: degrade to the (zero) global mean instead of
+    // rejecting — the column check below cannot even run on a default
+    // FeatureMatrix whose width is still 0.
+    mean_value_ = 0.0;
+    return;
+  }
   if (x.cols() != 2) {
     throw std::invalid_argument(
         "OrdinaryKriging: expects exactly 2 location columns (group L)");
   }
-  px_.clear();
-  py_.clear();
-  pv_.clear();
 
   // Aggregate duplicate coordinates to their mean (grid cells repeat a lot).
   std::map<std::pair<double, double>, std::pair<double, std::size_t>> agg;
@@ -65,27 +73,57 @@ void OrdinaryKriging::fit(const FeatureMatrix& x, std::span<const double> y) {
     return;
   }
 
-  // Empirical semivariogram on binned lags.
-  double max_h = 0.0;
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i + 1; j < m; ++j) {
-      max_h = std::max(max_h, std::hypot(px_[i] - px_[j], py_[i] - py_[j]));
-    }
-  }
+  // Empirical semivariogram on binned lags. Both O(m^2) pair sweeps are
+  // chunked over the pool with parallel_reduce: the bin accumulators are
+  // combined in fixed chunk order, so the fit is bit-identical for any
+  // LUMOS_THREADS setting.
+  double max_h = parallel_reduce(
+      0, m, 16, 0.0,
+      [&](std::size_t ib, std::size_t ie) {
+        double local = 0.0;
+        for (std::size_t i = ib; i < ie; ++i) {
+          for (std::size_t j = i + 1; j < m; ++j) {
+            local =
+                std::max(local, std::hypot(px_[i] - px_[j], py_[i] - py_[j]));
+          }
+        }
+        return local;
+      },
+      [](double a, double b) { return std::max(a, b); });
   if (max_h <= 0.0) max_h = 1.0;
   const auto bins = static_cast<std::size_t>(cfg_.variogram_bins);
-  std::vector<double> gamma_sum(bins, 0.0);
-  std::vector<std::size_t> gamma_cnt(bins, 0);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i + 1; j < m; ++j) {
-      const double h = std::hypot(px_[i] - px_[j], py_[i] - py_[j]);
-      auto b = static_cast<std::size_t>(h / max_h * static_cast<double>(bins));
-      if (b >= bins) b = bins - 1;
-      const double diff = pv_[i] - pv_[j];
-      gamma_sum[b] += 0.5 * diff * diff;
-      ++gamma_cnt[b];
-    }
-  }
+  struct GammaAcc {
+    std::vector<double> sum;
+    std::vector<std::size_t> cnt;
+  };
+  const auto acc = parallel_reduce(
+      0, m, 16, GammaAcc{std::vector<double>(bins, 0.0),
+                         std::vector<std::size_t>(bins, 0)},
+      [&](std::size_t ib, std::size_t ie) {
+        GammaAcc local{std::vector<double>(bins, 0.0),
+                       std::vector<std::size_t>(bins, 0)};
+        for (std::size_t i = ib; i < ie; ++i) {
+          for (std::size_t j = i + 1; j < m; ++j) {
+            const double h = std::hypot(px_[i] - px_[j], py_[i] - py_[j]);
+            auto b =
+                static_cast<std::size_t>(h / max_h * static_cast<double>(bins));
+            if (b >= bins) b = bins - 1;
+            const double diff = pv_[i] - pv_[j];
+            local.sum[b] += 0.5 * diff * diff;
+            ++local.cnt[b];
+          }
+        }
+        return local;
+      },
+      [&](GammaAcc a, GammaAcc b) {
+        for (std::size_t i = 0; i < bins; ++i) {
+          a.sum[i] += b.sum[i];
+          a.cnt[i] += b.cnt[i];
+        }
+        return a;
+      });
+  const std::vector<double>& gamma_sum = acc.sum;
+  const std::vector<std::size_t>& gamma_cnt = acc.cnt;
 
   // Method-of-moments fit of the exponential model: range from the lag
   // where the empirical curve reaches ~95% of its plateau; sill from the

@@ -36,6 +36,13 @@ ConfusionMatrix confusion_matrix(std::span<const int> pred,
       0);
   for (std::size_t i = 0; i < pred.size(); ++i) {
     const int t = truth[i], p = pred[i];
+    // Out-of-range labels indicate a broken class encoding upstream; fail
+    // loudly in debug builds instead of silently skewing every derived
+    // metric (weighted F1 weights by per-class support).
+    assert(t >= 0 && t < n_classes &&
+           "confusion_matrix: truth label out of [0, n_classes)");
+    assert(p >= 0 && p < n_classes &&
+           "confusion_matrix: predicted label out of [0, n_classes)");
     if (t < 0 || t >= n_classes || p < 0 || p >= n_classes) continue;
     ++cm.counts[static_cast<std::size_t>(t) *
                     static_cast<std::size_t>(n_classes) +

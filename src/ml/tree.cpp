@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "common/parallel.h"
+
 namespace lumos::ml {
 
 void BinMapper::fit(const FeatureMatrix& x, int n_bins) {
@@ -61,6 +63,11 @@ struct NodeTask {
   std::size_t begin = 0;  ///< range into the shared index buffer
   std::size_t end = 0;
 };
+
+/// Rows-in-node threshold below which the candidate-feature loop is not
+/// worth distributing across the pool (histogram build is O(rows) per
+/// feature; small nodes are dominated by dispatch overhead).
+constexpr std::size_t kParallelNodeRows = 1024;
 
 }  // namespace
 
@@ -122,24 +129,34 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
     }
 
     const double parent_score = gsum * gsum / (hsum + cfg.lambda);
-    Split best;
-    for (const std::size_t f : features) {
-      std::fill(hist_g.begin(), hist_g.end(), 0.0);
-      std::fill(hist_h.begin(), hist_h.end(), 0.0);
-      std::fill(hist_c.begin(), hist_c.end(), std::size_t{0});
+
+    // Each candidate feature builds its histogram and scans its bins
+    // independently; only the per-feature winners are compared, in fixed
+    // feature order, so the chosen split does not depend on how the loop
+    // is scheduled.
+    const std::size_t nf = features.size();
+    std::vector<Split> fbest(nf);
+    auto eval_feature = [&](std::size_t fi, std::vector<double>& hg,
+                            std::vector<double>& hh,
+                            std::vector<std::size_t>& hc) {
+      const std::size_t f = features[fi];
+      std::fill(hg.begin(), hg.end(), 0.0);
+      std::fill(hh.begin(), hh.end(), 0.0);
+      std::fill(hc.begin(), hc.end(), std::size_t{0});
       for (std::size_t i = task.begin; i < task.end; ++i) {
         const std::size_t r = idx[i];
         const std::uint16_t b = codes[r * d + f];
-        hist_g[b] += grad[r];
-        hist_h[b] += hess[r];
-        ++hist_c[b];
+        hg[b] += grad[r];
+        hh[b] += hess[r];
+        ++hc[b];
       }
+      Split local;
       double gl = 0.0, hl = 0.0;
       std::size_t cl = 0;
       for (std::size_t b = 0; b + 1 < n_bins; ++b) {
-        gl += hist_g[b];
-        hl += hist_h[b];
-        cl += hist_c[b];
+        gl += hg[b];
+        hl += hh[b];
+        cl += hc[b];
         if (cl < cfg.min_samples_leaf) continue;
         const std::size_t cr = count - cl;
         if (cr < cfg.min_samples_leaf) break;
@@ -147,10 +164,28 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
         const double hr = hsum - hl;
         const double gain = gl * gl / (hl + cfg.lambda) +
                             gr * gr / (hr + cfg.lambda) - parent_score;
-        if (gain > best.gain) {
-          best = {static_cast<int>(f), static_cast<int>(b), gain};
+        if (gain > local.gain) {
+          local = {static_cast<int>(f), static_cast<int>(b), gain};
         }
       }
+      fbest[fi] = local;
+    };
+
+    if (count >= kParallelNodeRows && nf > 1) {
+      parallel_for(0, nf, 1, [&](std::size_t fb, std::size_t fe) {
+        std::vector<double> hg(n_bins), hh(n_bins);
+        std::vector<std::size_t> hc(n_bins);
+        for (std::size_t fi = fb; fi < fe; ++fi) eval_feature(fi, hg, hh, hc);
+      });
+    } else {
+      for (std::size_t fi = 0; fi < nf; ++fi) {
+        eval_feature(fi, hist_g, hist_h, hist_c);
+      }
+    }
+
+    Split best;
+    for (std::size_t fi = 0; fi < nf; ++fi) {
+      if (fbest[fi].gain > best.gain) best = fbest[fi];
     }
 
     if (best.feature < 0 || best.gain <= cfg.min_gain) continue;
@@ -169,6 +204,7 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
 
     Node& node = nodes_[static_cast<std::size_t>(task.node)];
     node.feature = best.feature;
+    node.bin = best.bin;
     node.threshold = mapper.upper_edge(bf, static_cast<std::uint16_t>(best.bin));
     gains_[static_cast<std::size_t>(task.node)] = best.gain;
 
@@ -184,6 +220,20 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
     stack.push_back({left, task.depth + 1, task.begin, mid});
     stack.push_back({right, task.depth + 1, mid, task.end});
   }
+}
+
+double GradientTree::predict_binned(
+    std::span<const std::uint16_t> row_codes) const noexcept {
+  if (nodes_.empty()) return 0.0;
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    cur = row_codes[static_cast<std::size_t>(n.feature)] <=
+                  static_cast<std::uint16_t>(n.bin)
+              ? n.left
+              : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].value;
 }
 
 double GradientTree::predict(std::span<const double> row) const noexcept {

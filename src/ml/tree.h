@@ -57,6 +57,7 @@ class GradientTree {
   struct Node {
     int feature = -1;
     double threshold = 0.0;
+    int bin = -1;  ///< split bin code; codes <= bin go left (mirrors threshold)
     int left = -1;
     int right = -1;
     double value = 0.0;  ///< leaf output
@@ -67,12 +68,25 @@ class GradientTree {
   /// on (bootstrap sample for forests, all rows for boosting).
   /// `rng` is used for per-node feature subsampling when
   /// cfg.feature_subsample > 0.
+  ///
+  /// Large nodes spread the candidate-feature histogram loop across the
+  /// global thread pool; per-feature work is independent and the best
+  /// split is reduced in fixed feature order, so the fitted tree is
+  /// bit-identical for any LUMOS_THREADS setting.
   void fit(const std::vector<std::uint16_t>& codes, const BinMapper& mapper,
            std::span<const double> grad, std::span<const double> hess,
            std::span<const std::size_t> indices, const TreeConfig& cfg,
            Rng* rng = nullptr);
 
   double predict(std::span<const double> row) const noexcept;
+
+  /// Predicts from one row of pre-binned codes (length = n_features of the
+  /// mapper used at fit time). Reaches exactly the same leaf as predict()
+  /// on the raw row: a raw value satisfies `v <= upper_edge(f, bin)` iff
+  /// its code satisfies `code <= bin`. Used by the boosting loop to avoid
+  /// re-binning every training row each round.
+  double predict_binned(std::span<const std::uint16_t> row_codes)
+      const noexcept;
 
   /// Adds each split's gain to `gain_by_feature` (size = n_features).
   void accumulate_gain(std::span<double> gain_by_feature) const noexcept;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/parallel.h"
+
 namespace lumos::ml {
 
 /// Row-major feature matrix. Rows are samples, columns are features.
@@ -54,10 +56,16 @@ class Regressor {
   virtual void fit(const FeatureMatrix& x, std::span<const double> y) = 0;
   virtual double predict(std::span<const double> row) const = 0;
 
+  /// Batch prediction, chunked across the global thread pool. Rows are
+  /// independent so the output is identical for any LUMOS_THREADS setting.
   std::vector<double> predict_all(const FeatureMatrix& x) const {
-    std::vector<double> out;
-    out.reserve(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+    std::vector<double> out(x.rows());
+    lumos::parallel_for(0, x.rows(), 64,
+                        [&](std::size_t b, std::size_t e) {
+                          for (std::size_t r = b; r < e; ++r) {
+                            out[r] = predict(x.row(r));
+                          }
+                        });
     return out;
   }
 };
@@ -70,10 +78,16 @@ class Classifier {
                    int n_classes) = 0;
   virtual int predict(std::span<const double> row) const = 0;
 
+  /// Batch prediction, chunked across the global thread pool (see
+  /// Regressor::predict_all).
   std::vector<int> predict_all(const FeatureMatrix& x) const {
-    std::vector<int> out;
-    out.reserve(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+    std::vector<int> out(x.rows());
+    lumos::parallel_for(0, x.rows(), 64,
+                        [&](std::size_t b, std::size_t e) {
+                          for (std::size_t r = b; r < e; ++r) {
+                            out[r] = predict(x.row(r));
+                          }
+                        });
     return out;
   }
 };

@@ -89,6 +89,39 @@ TEST(Evaluate, HarmonicMeanIgnoresFeatures) {
   EXPECT_GT(r.mae, 0.0);
 }
 
+TEST(Evaluate, HarmonicMeanReportsConsumedHistory) {
+  const auto cfg = fast_config();
+  const auto r = evaluate_model(ModelKind::kHarmonicMean, airport_ds(),
+                                FeatureSetSpec::parse("L"), cfg);
+  ASSERT_TRUE(r.valid);
+  // n_train counts the history-window samples consumed before predicting:
+  // hm_window per contributing trace, never zero when predictions exist.
+  EXPECT_GT(r.n_train, 0u);
+  EXPECT_EQ(r.n_train % cfg.hm_window, 0u);
+}
+
+TEST(Evaluate, GridMatchesSequentialEvaluation) {
+  const auto cfg = fast_config();
+  const std::vector<GridCell> cells = {
+      {ModelKind::kGdbt, FeatureSetSpec::parse("L+M")},
+      {ModelKind::kKnn, FeatureSetSpec::parse("L")},
+      {ModelKind::kKriging, FeatureSetSpec::parse("L+M")},  // invalid cell
+      {ModelKind::kRandomForest, FeatureSetSpec::parse("L+M+C")},
+  };
+  const auto grid = evaluate_grid(airport_ds(), cells, cfg);
+  ASSERT_EQ(grid.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto seq =
+        evaluate_model(cells[i].kind, airport_ds(), cells[i].spec, cfg);
+    EXPECT_EQ(grid[i].valid, seq.valid) << "cell " << i;
+    EXPECT_EQ(grid[i].model, seq.model) << "cell " << i;
+    EXPECT_EQ(grid[i].mae, seq.mae) << "cell " << i;  // bitwise
+    EXPECT_EQ(grid[i].rmse, seq.rmse) << "cell " << i;
+    EXPECT_EQ(grid[i].weighted_f1, seq.weighted_f1) << "cell " << i;
+    EXPECT_EQ(grid[i].n_train, seq.n_train) << "cell " << i;
+  }
+}
+
 TEST(Evaluate, Seq2SeqRuns) {
   const auto r = evaluate_model(ModelKind::kSeq2Seq, airport_ds(),
                                 FeatureSetSpec::parse("L+M"), fast_config());

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "data/csv.h"
 #include "data/dataset.h"
@@ -427,6 +428,59 @@ TEST(Split, SubsetSelectsRows) {
   EXPECT_EQ(sub.at(1, 1), 30.0);
   const std::vector<double> v{0.0, 1.0, 2.0, 3.0, 4.0};
   EXPECT_EQ(subset(v, idx), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Split, ClampsOutOfRangeTrainFraction) {
+  // fraction 0.0 -> everything in test, 1.0 -> everything in train.
+  const auto none = train_test_split(50, 0.0, 9);
+  EXPECT_EQ(none.train.size(), 0u);
+  EXPECT_EQ(none.test.size(), 50u);
+  const auto all = train_test_split(50, 1.0, 9);
+  EXPECT_EQ(all.train.size(), 50u);
+  EXPECT_EQ(all.test.size(), 0u);
+  // Out-of-range fractions clamp instead of overflowing the index count.
+  const auto over = train_test_split(50, 1.5, 9);
+  EXPECT_EQ(over.train.size(), 50u);
+  EXPECT_EQ(over.test.size(), 0u);
+  const auto under = train_test_split(50, -0.5, 9);
+  EXPECT_EQ(under.train.size(), 0u);
+  EXPECT_EQ(under.test.size(), 50u);
+  const auto empty = train_test_split(0, 0.7, 9);
+  EXPECT_EQ(empty.train.size(), 0u);
+  EXPECT_EQ(empty.test.size(), 0u);
+}
+
+TEST(Csv, TrailingCommaIsAnExtraEmptyField) {
+  Dataset ds;
+  for (const auto& s : make_run("airport", 1, 0, 3)) ds.append(s);
+  const std::string path = "/tmp/lumos_test_trailing_comma.csv";
+  write_csv(ds, path);
+
+  // Simulate a hand-edited export: append a ',' to the first data row.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 2u);
+  lines[1] += ",";
+  {
+    std::ofstream out(path);
+    for (const auto& l : lines) out << l << "\n";
+  }
+
+  // The trailing empty field must be counted (28 fields), not silently
+  // dropped, and the error must say what was seen vs expected.
+  try {
+    read_csv(path);
+    FAIL() << "read_csv accepted a 28-field row";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("got 28"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected 27"), std::string::npos) << msg;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <span>
 
 #include "common/rng.h"
 #include "ml/forest.h"
@@ -546,6 +548,74 @@ TEST(LuSolver, HandlesPermutationMatrix) {
   lu.solve(b);
   EXPECT_NEAR(b[0], 7.0, 1e-12);
   EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+// ---------- latent-bug regressions ----------
+
+TEST(GradientTree, BinnedPredictMatchesRawPredict) {
+  Rng rng(321);
+  FeatureMatrix x(300, 4);
+  std::vector<double> y(300), hess(300, 1.0);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t f = 0; f < 4; ++f) x.at(i, f) = rng.uniform(-5.0, 5.0);
+    y[i] = std::sin(x.at(i, 0)) + 0.5 * x.at(i, 2);
+  }
+  BinMapper mapper;
+  mapper.fit(x, 32);
+  const auto codes = mapper.encode(x);
+  std::vector<std::size_t> idx(300);
+  for (std::size_t i = 0; i < 300; ++i) idx[i] = i;
+
+  GradientTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 5;
+  tree.fit(codes, mapper, y, hess, idx, cfg);
+
+  for (std::size_t i = 0; i < 300; ++i) {
+    const std::span<const std::uint16_t> row(&codes[i * 4], 4);
+    ASSERT_EQ(tree.predict(x.row(i)), tree.predict_binned(row)) << "row " << i;
+  }
+}
+
+TEST(GbdtRegressor, EmptyTrainingSetIsANoop) {
+  FeatureMatrix x(0, 3);
+  GbdtConfig cfg;
+  cfg.n_estimators = 5;
+  cfg.subsample = 0.5;  // row_sample(0 rows) must return empty, not crash
+  GbdtRegressor model(cfg);
+  model.fit(x, {});
+  const std::vector<double> q{1.0, 2.0, 3.0};
+  EXPECT_EQ(model.predict(q), 0.0);
+}
+
+TEST(GbdtClassifier, EmptyTrainingSetIsANoop) {
+  FeatureMatrix x(0, 3);
+  GbdtConfig cfg;
+  cfg.n_estimators = 5;
+  GbdtClassifier model(cfg);
+  model.fit(x, {}, 3);
+  const std::vector<double> q{0.0, 0.0, 0.0};
+  const int c = model.predict(q);
+  EXPECT_GE(c, 0);
+  EXPECT_LT(c, 3);
+}
+
+TEST(Kriging, EmptyTrainingSetFallsBackToZeroMean) {
+  OrdinaryKriging ok;
+  FeatureMatrix x(0, 2);
+  EXPECT_NO_THROW(ok.fit(x, {}));
+  const std::vector<double> q{44.98, -93.26};
+  EXPECT_EQ(ok.predict(q), 0.0);
+}
+
+TEST(RandomForestRegressor, EmptyTrainingSetIsANoop) {
+  ForestConfig cfg;
+  cfg.n_trees = 3;
+  RandomForestRegressor model(cfg);
+  FeatureMatrix x(0, 2);
+  model.fit(x, {});
+  const std::vector<double> q{1.0, 2.0};
+  EXPECT_EQ(model.predict(q), 0.0);
 }
 
 }  // namespace
