@@ -6,12 +6,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <vector>
 
 #include "common/parallel.h"
 #include "core/lumos5g.h"
 #include "core/throughput_map.h"
 #include "data/features.h"
+#include "data/quality.h"
+#include "sim/faults.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/knn.h"
@@ -202,6 +206,68 @@ void BM_PredictAllThreads(benchmark::State& state) {
                           static_cast<std::int64_t>(built.x.rows()));
 }
 BENCHMARK(BM_PredictAllThreads)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// ---- dirty-data path: validate / repair throughput ----
+//
+// A fault-injected copy of the airport campaign (uniform 20% impairment
+// rate) exercises every defect class the quality layer knows about.
+
+const data::Dataset& dirty_ds() {
+  static const data::Dataset ds = [] {
+    sim::FaultConfig fc = sim::FaultConfig::uniform(0.2);
+    return sim::FaultInjector(fc, 42).inject(airport_ds());
+  }();
+  return ds;
+}
+
+void BM_ValidateDataset(benchmark::State& state) {
+  const auto& ds = dirty_ds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::validate(ds));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ds.size()));
+}
+BENCHMARK(BM_ValidateDataset)->Unit(benchmark::kMillisecond);
+
+void BM_RepairDataset(benchmark::State& state) {
+  const auto& ds = dirty_ds();
+  const data::RepairPolicy policy;
+  for (auto _ : state) {
+    data::Dataset copy = ds;  // repair() works in place
+    benchmark::DoNotOptimize(data::repair(copy, policy));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ds.size()));
+}
+BENCHMARK(BM_RepairDataset)->Unit(benchmark::kMillisecond);
+
+// NaN-routing overhead: the same fitted model scores a clean row
+// (Arg = 0) and a row whose signal features are NaN (Arg = 1), so any
+// missing-branch routing cost shows up as the delta between the two.
+void BM_GdbtPredictNaNRouting(benchmark::State& state) {
+  static const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M+C"), {});
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = 100;
+  static ml::GbdtRegressor* model = nullptr;
+  if (model == nullptr) {
+    model = new ml::GbdtRegressor(cfg);
+    model->fit(built.x, built.y_reg);
+  }
+  std::vector<double> row(built.x.row(0).begin(), built.x.row(0).end());
+  if (state.range(0) == 1) {
+    // Blank out the tail (connection-context) half of the feature row.
+    for (std::size_t j = row.size() / 2; j < row.size(); ++j) {
+      row[j] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->predict(row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GdbtPredictNaNRouting)->Arg(0)->Arg(1);
 
 void BM_ThroughputMapBuild(benchmark::State& state) {
   const auto& ds = airport_ds();

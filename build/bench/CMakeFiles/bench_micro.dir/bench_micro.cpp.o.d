@@ -218,10 +218,12 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/core/lumos5g.h /usr/include/c++/12/optional \
- /usr/include/c++/12/span /root/repo/src/data/dataset.h \
- /root/repo/src/data/sample.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/core/lumos5g.h /usr/include/c++/12/span \
+ /root/repo/src/common/error.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/data/dataset.h /root/repo/src/data/sample.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -250,7 +252,8 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
  /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h \
  /root/repo/src/ml/gbdt.h /root/repo/src/ml/tree.h \
- /root/repo/src/core/throughput_map.h /root/repo/src/ml/forest.h \
+ /root/repo/src/core/throughput_map.h /root/repo/src/data/quality.h \
+ /root/repo/src/sim/faults.h /root/repo/src/ml/forest.h \
  /root/repo/src/ml/knn.h /root/repo/src/sim/areas.h \
  /root/repo/src/sim/collector.h /root/repo/src/sim/connection.h \
  /root/repo/src/sim/environment.h /root/repo/src/geo/local_frame.h \

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/lumos_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/lumos_data.dir/csv.cpp.o.d"
   "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/lumos_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/lumos_data.dir/dataset.cpp.o.d"
   "/root/repo/src/data/features.cpp" "src/data/CMakeFiles/lumos_data.dir/features.cpp.o" "gcc" "src/data/CMakeFiles/lumos_data.dir/features.cpp.o.d"
+  "/root/repo/src/data/quality.cpp" "src/data/CMakeFiles/lumos_data.dir/quality.cpp.o" "gcc" "src/data/CMakeFiles/lumos_data.dir/quality.cpp.o.d"
   "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/lumos_data.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/lumos_data.dir/split.cpp.o.d"
   )
 

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lumos_data.dir/dataset.cpp.o.d"
   "CMakeFiles/lumos_data.dir/features.cpp.o"
   "CMakeFiles/lumos_data.dir/features.cpp.o.d"
+  "CMakeFiles/lumos_data.dir/quality.cpp.o"
+  "CMakeFiles/lumos_data.dir/quality.cpp.o.d"
   "CMakeFiles/lumos_data.dir/split.cpp.o"
   "CMakeFiles/lumos_data.dir/split.cpp.o.d"
   "liblumos_data.a"

@@ -20,9 +20,10 @@ src/ml/CMakeFiles/lumos_ml.dir/tree.cpp.o: /root/repo/src/ml/tree.cpp \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/compare /usr/include/c++/12/concepts \
- /usr/include/c++/12/type_traits /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/limits /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/compare \
+ /usr/include/c++/12/concepts /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/stl_algobase.h \
@@ -102,8 +103,7 @@ src/ml/CMakeFiles/lumos_ml.dir/tree.cpp.o: /root/repo/src/ml/tree.cpp \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/connection.cpp" "src/sim/CMakeFiles/lumos_sim.dir/connection.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/connection.cpp.o.d"
   "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/lumos_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/environment.cpp.o.d"
   "/root/repo/src/sim/fading.cpp" "src/sim/CMakeFiles/lumos_sim.dir/fading.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/fading.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/lumos_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/faults.cpp.o.d"
   "/root/repo/src/sim/lte.cpp" "src/sim/CMakeFiles/lumos_sim.dir/lte.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/lte.cpp.o.d"
   "/root/repo/src/sim/mobility.cpp" "src/sim/CMakeFiles/lumos_sim.dir/mobility.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/mobility.cpp.o.d"
   "/root/repo/src/sim/obstacle.cpp" "src/sim/CMakeFiles/lumos_sim.dir/obstacle.cpp.o" "gcc" "src/sim/CMakeFiles/lumos_sim.dir/obstacle.cpp.o.d"

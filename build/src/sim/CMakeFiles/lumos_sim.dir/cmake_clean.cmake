@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lumos_sim.dir/environment.cpp.o.d"
   "CMakeFiles/lumos_sim.dir/fading.cpp.o"
   "CMakeFiles/lumos_sim.dir/fading.cpp.o.d"
+  "CMakeFiles/lumos_sim.dir/faults.cpp.o"
+  "CMakeFiles/lumos_sim.dir/faults.cpp.o.d"
   "CMakeFiles/lumos_sim.dir/lte.cpp.o"
   "CMakeFiles/lumos_sim.dir/lte.cpp.o.d"
   "CMakeFiles/lumos_sim.dir/mobility.cpp.o"

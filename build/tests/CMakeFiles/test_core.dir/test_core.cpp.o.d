@@ -330,10 +330,11 @@ tests/CMakeFiles/test_core.dir/test_core.cpp.o: \
  /root/repo/src/ml/forest.h /root/repo/src/ml/tree.h \
  /root/repo/src/ml/gbdt.h /root/repo/src/ml/knn.h \
  /root/repo/src/ml/kriging.h /root/repo/src/ml/linalg.h \
- /root/repo/src/core/lumos5g.h /root/repo/src/core/throughput_map.h \
- /root/repo/src/sim/areas.h /root/repo/src/sim/collector.h \
- /root/repo/src/sim/connection.h /root/repo/src/sim/environment.h \
- /root/repo/src/geo/local_frame.h /root/repo/src/sim/fading.h \
- /root/repo/src/sim/lte.h /root/repo/src/sim/obstacle.h \
- /root/repo/src/sim/panel.h /root/repo/src/sim/propagation.h \
- /root/repo/src/sim/mobility.h /root/repo/src/sim/sensors.h
+ /root/repo/src/core/lumos5g.h /root/repo/src/common/error.h \
+ /root/repo/src/core/throughput_map.h /root/repo/src/sim/areas.h \
+ /root/repo/src/sim/collector.h /root/repo/src/sim/connection.h \
+ /root/repo/src/sim/environment.h /root/repo/src/geo/local_frame.h \
+ /root/repo/src/sim/fading.h /root/repo/src/sim/lte.h \
+ /root/repo/src/sim/obstacle.h /root/repo/src/sim/panel.h \
+ /root/repo/src/sim/propagation.h /root/repo/src/sim/mobility.h \
+ /root/repo/src/sim/sensors.h

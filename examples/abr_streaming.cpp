@@ -108,7 +108,10 @@ int main() {
   cfg.feature_spec = data::FeatureSetSpec::parse("L+M+C");
   cfg.gbdt.n_estimators = 200;
   core::Lumos5G lumos(cfg);
-  lumos.train(train_ds);
+  if (const auto r = lumos.train(train_ds); !r) {
+    std::printf("training failed: %s\n", r.error().describe().c_str());
+    return 1;
+  }
 
   // A fresh drive the model has never seen.
   const data::Dataset live =

@@ -28,7 +28,10 @@ int main() {
   cfg.feature_spec = data::FeatureSetSpec::parse("L+M");
   cfg.gbdt.n_estimators = 150;
   core::Lumos5G predictor(cfg);
-  predictor.train(ds);
+  if (const auto r = predictor.train(ds); !r) {
+    std::printf("training failed: %s\n", r.error().describe().c_str());
+    return 1;
+  }
   std::printf("trained GDBT on features:");
   for (const auto& name : predictor.feature_names()) {
     std::printf(" %s", name.c_str());

@@ -1,41 +1,148 @@
 #include "core/lumos5g.h"
 
-#include <stdexcept>
+#include <algorithm>
+#include <cmath>
 
 namespace lumos::core {
+namespace {
+
+/// Derives the fallback chain from the primary spec: drop T first (adding
+/// L so a location signal survives — panel geometry is the input most
+/// often unavailable), then drop C (lag features need an uninterrupted
+/// history and are the most fragile at query time).
+std::vector<data::FeatureSetSpec> derive_tiers(
+    const data::FeatureSetSpec& primary, const FallbackConfig& fb) {
+  std::vector<data::FeatureSetSpec> chain{primary};
+  const auto push_unique = [&chain](const data::FeatureSetSpec& s) {
+    if (!s.L && !s.M && !s.T && !s.C) return;  // empty spec is not a tier
+    if (std::find(chain.begin(), chain.end(), s) == chain.end()) {
+      chain.push_back(s);
+    }
+  };
+  if (!fb.enabled) return chain;
+  if (!fb.tiers.empty()) {
+    for (const auto& s : fb.tiers) push_unique(s);
+    return chain;
+  }
+  if (primary.T) {
+    data::FeatureSetSpec s = primary;
+    s.T = false;
+    s.L = true;
+    push_unique(s);
+  }
+  data::FeatureSetSpec last = chain.back();
+  if (last.C) {
+    last.C = false;
+    push_unique(last);
+  }
+  return chain;
+}
+
+}  // namespace
 
 Lumos5G::Lumos5G(Lumos5GConfig cfg)
     : cfg_(std::move(cfg)),
-      regressor_(cfg_.gbdt),
-      classifier_(cfg_.gbdt),
-      feature_names_(data::feature_names(cfg_.feature_spec, cfg_.features)) {}
-
-void Lumos5G::train(const data::Dataset& ds) {
-  const auto built =
-      data::build_features(ds, cfg_.feature_spec, cfg_.features);
-  if (built.x.rows() < 10) {
-    throw std::runtime_error(
-        "Lumos5G::train: dataset too small for the configured features");
+      tier_specs_(derive_tiers(cfg_.feature_spec, cfg_.fallback)) {
+  tiers_.reserve(tier_specs_.size());
+  for (const auto& spec : tier_specs_) {
+    tiers_.push_back(Tier{ml::GbdtRegressor(cfg_.gbdt),
+                          ml::GbdtClassifier(cfg_.gbdt),
+                          data::feature_names(spec, cfg_.features), false});
   }
-  regressor_.fit(built.x, built.y_reg);
-  classifier_.fit(built.x, built.y_cls, data::kNumThroughputClasses);
-  trained_ = true;
 }
 
-std::optional<Prediction> Lumos5G::predict(
+std::size_t Lumos5G::best_tier() const noexcept {
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (tiers_[i].trained) return i;
+  }
+  return 0;
+}
+
+Expected<void> Lumos5G::train(const data::Dataset& ds) {
+  trained_ = false;
+  std::size_t best_rows = 0;
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    Tier& tier = tiers_[i];
+    tier.trained = false;
+    const auto built =
+        data::build_features(ds, tier_specs_[i], cfg_.features);
+    best_rows = std::max(best_rows, built.x.rows());
+    if (built.x.rows() < kMinTrainRows) continue;
+    tier.regressor = ml::GbdtRegressor(cfg_.gbdt);
+    tier.classifier = ml::GbdtClassifier(cfg_.gbdt);
+    tier.regressor.fit(built.x, built.y_reg);
+    tier.classifier.fit(built.x, built.y_cls, data::kNumThroughputClasses);
+    tier.trained = true;
+    trained_ = true;
+  }
+  if (!trained_) {
+    return Error{ErrorCode::kDatasetTooSmall,
+                 "Lumos5G::train: no fallback tier has >= " +
+                     std::to_string(kMinTrainRows) +
+                     " usable feature rows (best tier had " +
+                     std::to_string(best_rows) + ")"};
+  }
+  return {};
+}
+
+Expected<Prediction> Lumos5G::predict(
     std::span<const data::SampleRecord> recent) const {
-  if (!trained_) return std::nullopt;
-  const auto row = data::feature_row_from_window(recent, cfg_.feature_spec,
-                                                 cfg_.features);
-  if (!row) return std::nullopt;
-  Prediction p;
-  p.throughput_mbps = regressor_.predict(*row);
-  p.throughput_class = classifier_.predict(*row);
-  return p;
+  if (!trained_) {
+    return Error{ErrorCode::kNotTrained,
+                 "Lumos5G::predict: train() has not succeeded yet"};
+  }
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    const Tier& tier = tiers_[i];
+    if (!tier.trained) continue;
+    const auto row =
+        data::feature_row_from_window(recent, tier_specs_[i], cfg_.features);
+    if (!row) continue;
+    Prediction p;
+    p.throughput_mbps = tier.regressor.predict(*row);
+    p.throughput_class = tier.classifier.predict(*row);
+    p.tier = static_cast<int>(i);
+    p.feature_group = tier_specs_[i].name();
+    return p;
+  }
+  if (cfg_.fallback.enabled && cfg_.fallback.harmonic_tail) {
+    // Harmonic mean of the most recent positive finite throughputs — the
+    // classic ABR estimator; robust to a single outlier spike.
+    double inv_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = recent.size();
+         k-- > 0 && n < cfg_.fallback.harmonic_window;) {
+      const double v = recent[k].throughput_mbps;
+      if (std::isfinite(v) && v > 0.0) {
+        inv_sum += 1.0 / v;
+        ++n;
+      }
+    }
+    if (n > 0) {
+      Prediction p;
+      p.throughput_mbps = static_cast<double>(n) / inv_sum;
+      p.throughput_class =
+          data::throughput_class(p.throughput_mbps, cfg_.features);
+      p.tier = static_cast<int>(tier_specs_.size());
+      p.feature_group = "harmonic";
+      return p;
+    }
+  }
+  return Error{ErrorCode::kWindowUnusable,
+               "Lumos5G::predict: window of " +
+                   std::to_string(recent.size()) +
+                   " samples cannot produce features for any trained tier"};
 }
 
-std::vector<double> Lumos5G::feature_importance() const {
-  return regressor_.feature_importance();
+const std::vector<std::string>& Lumos5G::feature_names() const noexcept {
+  return tiers_[best_tier()].names;
+}
+
+Expected<std::vector<double>> Lumos5G::feature_importance() const {
+  if (!trained_) {
+    return Error{ErrorCode::kNotTrained,
+                 "Lumos5G::feature_importance: train() has not succeeded yet"};
+  }
+  return tiers_[best_tier()].regressor.feature_importance();
 }
 
 }  // namespace lumos::core

@@ -1,5 +1,6 @@
 #include "data/csv.h"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -15,6 +16,18 @@ constexpr const char* kHeader =
     "throughput_mbps,radio_type,cell_id,lte_rsrp,lte_rsrq,lte_rssi,"
     "nr_ssrsrp,nr_ssrsrq,nr_ssrssi,horizontal_handoff,vertical_handoff,"
     "ue_panel_distance_m,theta_p_deg,theta_m_deg,pixel_x,pixel_y";
+
+/// Column names in header order, for parse-error reporting.
+constexpr const char* kColumnNames[27] = {
+    "area",           "trajectory_id",      "run_id",
+    "timestamp_s",    "latitude",           "longitude",
+    "gps_accuracy_m", "activity",           "moving_speed_mps",
+    "compass_deg",    "compass_accuracy",   "throughput_mbps",
+    "radio_type",     "cell_id",            "lte_rsrp",
+    "lte_rsrq",       "lte_rssi",           "nr_ssrsrp",
+    "nr_ssrsrq",      "nr_ssrssi",          "horizontal_handoff",
+    "vertical_handoff", "ue_panel_distance_m", "theta_p_deg",
+    "theta_m_deg",    "pixel_x",            "pixel_y"};
 
 std::vector<std::string> split_line(const std::string& line) {
   // Hand-rolled split: std::getline on a stringstream silently drops a
@@ -34,9 +47,17 @@ std::vector<std::string> split_line(const std::string& line) {
   return out;
 }
 
+// std::from_chars rather than std::stod: locale-independent, parses
+// subnormals (stod throws out_of_range on e.g. 5e-324), and rejects
+// trailing junk; overflow ("1e999999") still throws.
 double parse_double(const std::string& s) {
   if (s.empty() || s == "nan") return std::nan("");
-  return std::stod(s);
+  double v = 0.0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) {
+    throw std::invalid_argument("not a number");
+  }
+  return v;
 }
 
 }  // namespace
@@ -45,7 +66,9 @@ void write_csv(const Dataset& ds, const std::string& path) {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("write_csv: cannot open " + path);
   f << kHeader << '\n';
-  f.precision(10);
+  // max_digits10: every finite double survives the write -> read round
+  // trip bit-exactly.
+  f.precision(17);
   for (const auto& s : ds.samples()) {
     f << s.area << ',' << s.trajectory_id << ',' << s.run_id << ','
       << s.timestamp_s << ',' << s.latitude << ',' << s.longitude << ','
@@ -88,37 +111,45 @@ Dataset read_csv(const std::string& path) {
           " fields, expected 27 (a trailing ',' adds an empty 28th field)");
     }
     SampleRecord s;
+    // Tracks which column is being parsed so an error can name it.
+    std::size_t col = 0;
+    const auto fld = [&](std::size_t c) -> const std::string& {
+      col = c;
+      return v[c];
+    };
     try {
-      s.area = v[0];
-      s.trajectory_id = std::stoi(v[1]);
-      s.run_id = std::stoi(v[2]);
-      s.timestamp_s = parse_double(v[3]);
-      s.latitude = parse_double(v[4]);
-      s.longitude = parse_double(v[5]);
-      s.gps_accuracy_m = parse_double(v[6]);
-      s.detected_activity = static_cast<Activity>(std::stoi(v[7]));
-      s.moving_speed_mps = parse_double(v[8]);
-      s.compass_deg = parse_double(v[9]);
-      s.compass_accuracy = parse_double(v[10]);
-      s.throughput_mbps = parse_double(v[11]);
-      s.radio_type = static_cast<RadioType>(std::stoi(v[12]));
-      s.cell_id = std::stoi(v[13]);
-      s.lte_rsrp = parse_double(v[14]);
-      s.lte_rsrq = parse_double(v[15]);
-      s.lte_rssi = parse_double(v[16]);
-      s.nr_ssrsrp = parse_double(v[17]);
-      s.nr_ssrsrq = parse_double(v[18]);
-      s.nr_ssrssi = parse_double(v[19]);
-      s.horizontal_handoff = v[20] == "1";
-      s.vertical_handoff = v[21] == "1";
-      s.ue_panel_distance_m = parse_double(v[22]);
-      s.theta_p_deg = parse_double(v[23]);
-      s.theta_m_deg = parse_double(v[24]);
-      s.pixel_x = std::stoll(v[25]);
-      s.pixel_y = std::stoll(v[26]);
+      s.area = fld(0);
+      s.trajectory_id = std::stoi(fld(1));
+      s.run_id = std::stoi(fld(2));
+      s.timestamp_s = parse_double(fld(3));
+      s.latitude = parse_double(fld(4));
+      s.longitude = parse_double(fld(5));
+      s.gps_accuracy_m = parse_double(fld(6));
+      s.detected_activity = static_cast<Activity>(std::stoi(fld(7)));
+      s.moving_speed_mps = parse_double(fld(8));
+      s.compass_deg = parse_double(fld(9));
+      s.compass_accuracy = parse_double(fld(10));
+      s.throughput_mbps = parse_double(fld(11));
+      s.radio_type = static_cast<RadioType>(std::stoi(fld(12)));
+      s.cell_id = std::stoi(fld(13));
+      s.lte_rsrp = parse_double(fld(14));
+      s.lte_rsrq = parse_double(fld(15));
+      s.lte_rssi = parse_double(fld(16));
+      s.nr_ssrsrp = parse_double(fld(17));
+      s.nr_ssrsrq = parse_double(fld(18));
+      s.nr_ssrssi = parse_double(fld(19));
+      s.horizontal_handoff = fld(20) == "1";
+      s.vertical_handoff = fld(21) == "1";
+      s.ue_panel_distance_m = parse_double(fld(22));
+      s.theta_p_deg = parse_double(fld(23));
+      s.theta_m_deg = parse_double(fld(24));
+      s.pixel_x = std::stoll(fld(25));
+      s.pixel_y = std::stoll(fld(26));
     } catch (const std::exception& e) {
-      throw std::runtime_error("read_csv: bad field value at line " +
-                               std::to_string(lineno) + ": " + e.what());
+      throw std::runtime_error("read_csv: bad value in column '" +
+                               std::string(kColumnNames[col]) + "' at line " +
+                               std::to_string(lineno) + " (\"" + v[col] +
+                               "\"): " + e.what());
     }
     ds.append(std::move(s));
   }

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "geo/coordinates.h"
@@ -136,6 +137,28 @@ std::size_t min_history(const FeatureSetSpec& spec, const FeatureConfig& cfg) {
   return spec.C ? static_cast<std::size_t>(cfg.throughput_lags - 1) : 0;
 }
 
+bool contiguous(double t_prev, double t_next, double max_gap_s) {
+  const double dt = t_next - t_prev;
+  return std::isfinite(dt) && dt >= 0.0 && dt <= max_gap_s;
+}
+
+/// Per-run segment ids: rows k-1 and k share a segment iff their
+/// timestamps are contiguous under max_gap_s; a window is gap-free iff
+/// its first and last row share a segment. With the check disabled
+/// (max_gap_s <= 0) everything is segment 0.
+std::vector<std::uint32_t> run_segments(const Dataset& ds,
+                                        const std::vector<std::size_t>& run,
+                                        double max_gap_s) {
+  std::vector<std::uint32_t> seg(run.size(), 0);
+  if (max_gap_s <= 0.0) return seg;
+  for (std::size_t k = 1; k < run.size(); ++k) {
+    const bool ok = contiguous(ds[run[k - 1]].timestamp_s,
+                               ds[run[k]].timestamp_s, max_gap_s);
+    seg[k] = seg[k - 1] + (ok ? 0u : 1u);
+  }
+  return seg;
+}
+
 }  // namespace
 
 BuiltFeatures build_features(const Dataset& ds, const FeatureSetSpec& spec,
@@ -154,9 +177,12 @@ BuiltFeatures build_features(const Dataset& ds, const FeatureSetSpec& spec,
   std::vector<double> row;
   for (const auto& run : ds.runs()) {
     if (run.size() <= hist + horizon) continue;
+    const auto seg = run_segments(ds, run, cfg.max_gap_s);
     for (std::size_t i = hist; i + horizon < run.size(); ++i) {
       const SampleRecord& s = ds[run[i]];
       if (spec.T && !s.has_panel_geometry()) continue;
+      // The window [i - hist, i + horizon] must not straddle a gap.
+      if (seg[i - hist] != seg[i + horizon]) continue;
       fill_row(ds, run, i, spec, cfg, row);
       out.x.push_row(row);
       const double target = ds[run[i + horizon]].throughput_mbps;
@@ -181,6 +207,7 @@ BuiltSequences build_sequences(const Dataset& ds, const FeatureSetSpec& spec,
   std::vector<double> row;
   for (const auto& run : ds.runs()) {
     if (run.size() < hist + seq.seq_len + seq.out_len) continue;
+    const auto seg = run_segments(ds, run, cfg.max_gap_s);
     // Window end index e: window covers [e - seq_len + 1, e];
     // targets cover (e, e + out_len].
     for (std::size_t e = hist + seq.seq_len - 1; e + seq.out_len < run.size();
@@ -190,6 +217,11 @@ BuiltSequences build_sequences(const Dataset& ds, const FeatureSetSpec& spec,
         for (std::size_t t = e + 1 - seq.seq_len; t <= e && usable; ++t) {
           usable = ds[run[t]].has_panel_geometry();
         }
+      }
+      // The full consumed span — lag history of the first window element
+      // through the last target — must not straddle a gap.
+      if (seg[e + 1 - seq.seq_len - hist] != seg[e + seq.out_len]) {
+        usable = false;
       }
       if (!usable) continue;
       nn::SeqSample sample;
@@ -218,6 +250,15 @@ std::optional<std::vector<double>> feature_row_from_window(
   if (window.size() < hist) return std::nullopt;
   const std::size_t i = window.size() - 1;
   if (spec.T && !window[i].has_panel_geometry()) return std::nullopt;
+  if (cfg.max_gap_s > 0.0) {
+    // Only the consumed history (last `hist` records) must be gap-free.
+    for (std::size_t k = window.size() - hist + 1; k <= i; ++k) {
+      if (!contiguous(window[k - 1].timestamp_s, window[k].timestamp_s,
+                      cfg.max_gap_s)) {
+        return std::nullopt;
+      }
+    }
+  }
   std::vector<double> row;
   fill_row_impl(
       [&](std::size_t j) -> const SampleRecord& { return window[j]; }, i,

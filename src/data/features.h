@@ -41,6 +41,11 @@ struct FeatureConfig {
   int horizon = 1;           ///< predict throughput at t + horizon seconds
   double low_mbps = 300.0;   ///< class boundary low/medium (paper §5.2)
   double high_mbps = 700.0;  ///< class boundary medium/high
+  /// Gap-aware windowing: when > 0, no feature/target window may span two
+  /// samples whose timestamps differ by more than this many seconds (or
+  /// run backwards) — lag features across a logging outage would silently
+  /// mix unrelated seconds. 0 disables the check (legacy behaviour).
+  double max_gap_s = 0.0;
 };
 
 /// Classifies a throughput value into {0: low, 1: medium, 2: high}.
@@ -61,6 +66,8 @@ struct BuiltFeatures {
 /// Builds per-sample features. Samples whose run is too short for the
 /// configured lags/horizon are skipped; if `spec.T` is set, samples without
 /// panel geometry are skipped too (paper: no T results for the Loop area).
+/// With cfg.max_gap_s > 0, windows that would straddle a timestamp
+/// discontinuity are skipped as well.
 BuiltFeatures build_features(const Dataset& ds, const FeatureSetSpec& spec,
                              const FeatureConfig& cfg = {});
 
@@ -70,8 +77,10 @@ std::vector<std::string> feature_names(const FeatureSetSpec& spec,
 
 /// Builds one feature row from a window of consecutive samples; the last
 /// element of `window` is the prediction reference time. Returns nullopt if
-/// the window is too short for the configured lags, or lacks panel geometry
-/// while `spec.T` is set. Used for online prediction (Lumos5G facade).
+/// the window is too short for the configured lags, lacks panel geometry
+/// while `spec.T` is set, or (with cfg.max_gap_s > 0) the consumed history
+/// spans a timestamp discontinuity. Used for online prediction (Lumos5G
+/// facade).
 std::optional<std::vector<double>> feature_row_from_window(
     std::span<const SampleRecord> window, const FeatureSetSpec& spec,
     const FeatureConfig& cfg = {});

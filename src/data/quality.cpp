@@ -1,0 +1,274 @@
+#include "data/quality.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <tuple>
+
+#include "geo/coordinates.h"
+
+namespace lumos::data {
+namespace {
+
+/// Non-geometry numeric fields covered by the NaN/Inf census. The T-group
+/// geometry triple is excluded: NaN there is the documented "panel not
+/// surveyed" sentinel, not a defect.
+constexpr std::array<double SampleRecord::*, 14> kNumericFields = {
+    &SampleRecord::timestamp_s,    &SampleRecord::latitude,
+    &SampleRecord::longitude,      &SampleRecord::gps_accuracy_m,
+    &SampleRecord::moving_speed_mps, &SampleRecord::compass_deg,
+    &SampleRecord::compass_accuracy, &SampleRecord::throughput_mbps,
+    &SampleRecord::lte_rsrp,       &SampleRecord::lte_rsrq,
+    &SampleRecord::lte_rssi,       &SampleRecord::nr_ssrsrp,
+    &SampleRecord::nr_ssrsrq,      &SampleRecord::nr_ssrssi,
+};
+
+constexpr std::array<double SampleRecord::*, 3> kGpsFields = {
+    &SampleRecord::latitude, &SampleRecord::longitude,
+    &SampleRecord::gps_accuracy_m};
+constexpr std::array<double SampleRecord::*, 2> kCompassFields = {
+    &SampleRecord::compass_deg, &SampleRecord::compass_accuracy};
+constexpr std::array<double SampleRecord::*, 1> kSpeedFields = {
+    &SampleRecord::moving_speed_mps};
+constexpr std::array<double SampleRecord::*, 6> kSignalFields = {
+    &SampleRecord::lte_rsrp,  &SampleRecord::lte_rsrq,
+    &SampleRecord::lte_rssi,  &SampleRecord::nr_ssrsrp,
+    &SampleRecord::nr_ssrsrq, &SampleRecord::nr_ssrssi};
+
+bool same_key(const SampleRecord& a, const SampleRecord& b) {
+  return a.area == b.area && a.trajectory_id == b.trajectory_id &&
+         a.run_id == b.run_id;
+}
+
+std::size_t out_of_range_fields(const SampleRecord& s,
+                                const QualityConfig& cfg) {
+  std::size_t n = 0;
+  const auto bad = [](bool finite_violation, double v) {
+    return std::isfinite(v) && finite_violation;
+  };
+  if (bad(std::fabs(s.latitude) > 90.0, s.latitude)) ++n;
+  if (bad(std::fabs(s.longitude) > 180.0, s.longitude)) ++n;
+  if (bad(s.gps_accuracy_m < 0.0, s.gps_accuracy_m)) ++n;
+  if (bad(s.moving_speed_mps < 0.0, s.moving_speed_mps)) ++n;
+  if (bad(s.throughput_mbps < 0.0 ||
+              s.throughput_mbps > cfg.max_throughput_mbps,
+          s.throughput_mbps)) {
+    ++n;
+  }
+  for (auto f : kSignalFields) {
+    const double v = s.*f;
+    if (!std::isfinite(v)) continue;
+    // RSRQ fields are dB quality ratios with their own (higher) band.
+    const bool is_rsrq =
+        f == &SampleRecord::lte_rsrq || f == &SampleRecord::nr_ssrsrq;
+    const double lo = is_rsrq ? cfg.min_rsrq_db : cfg.min_dbm;
+    const double hi = is_rsrq ? cfg.max_rsrq_db : cfg.max_dbm;
+    if (v < lo || v > hi) ++n;
+  }
+  return n;
+}
+
+/// Repairs one field over one time-ordered run. `alive[i]` false marks the
+/// row as already condemned. Returns rows newly condemned by a kDrop
+/// policy or an unrepairable span.
+void repair_field(std::vector<SampleRecord*>& run, std::vector<bool>& alive,
+                  double SampleRecord::* field, FieldRepair mode,
+                  double max_span_s, RepairSummary& sum,
+                  std::vector<bool>& gps_touched, bool is_gps) {
+  const std::size_t n = run.size();
+  // Validity snapshot BEFORE any repair: neighbours must be original
+  // observations, otherwise hold-last would chain across arbitrarily long
+  // outages one repaired row at a time.
+  std::vector<bool> observed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    observed[i] = std::isfinite(run[i]->*field);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i] || observed[i]) continue;
+    if (mode == FieldRepair::kDrop) {
+      alive[i] = false;
+      ++sum.rows_dropped;
+      continue;
+    }
+    const double t = run[i]->timestamp_s;
+    // Nearest originally-observed neighbours within the repair span.
+    std::size_t prev = n, next = n;
+    for (std::size_t j = i; j-- > 0;) {
+      if (alive[j] && observed[j]) {
+        if (t - run[j]->timestamp_s <= max_span_s) prev = j;
+        break;
+      }
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (alive[j] && observed[j]) {
+        if (run[j]->timestamp_s - t <= max_span_s) next = j;
+        break;
+      }
+    }
+    if (mode == FieldRepair::kInterpolate && prev < n && next < n) {
+      const double t0 = run[prev]->timestamp_s, t1 = run[next]->timestamp_s;
+      const double v0 = run[prev]->*field, v1 = run[next]->*field;
+      const double w = t1 > t0 ? (t - t0) / (t1 - t0) : 0.0;
+      run[i]->*field = v0 + (v1 - v0) * w;
+      ++sum.fields_interpolated;
+    } else if (prev < n) {
+      run[i]->*field = run[prev]->*field;
+      ++sum.fields_held;
+    } else if (next < n) {
+      run[i]->*field = run[next]->*field;  // backfill at the run head
+      ++sum.fields_held;
+    } else {
+      alive[i] = false;  // no valid neighbour in range: unrepairable
+      ++sum.rows_dropped;
+      continue;
+    }
+    if (is_gps) gps_touched[i] = true;
+  }
+}
+
+}  // namespace
+
+std::string QualityReport::describe() const {
+  std::string s = "samples=" + std::to_string(n_samples) +
+                  " runs=" + std::to_string(n_runs) +
+                  " nan=" + std::to_string(nan_fields) +
+                  " inf=" + std::to_string(inf_fields) +
+                  " gaps=" + std::to_string(timestamp_gaps) +
+                  " dups=" + std::to_string(duplicate_timestamps) +
+                  " ooo=" + std::to_string(out_of_order) +
+                  " range=" + std::to_string(out_of_range) +
+                  " nogeom=" + std::to_string(missing_geometry);
+  return s;
+}
+
+QualityReport validate(const Dataset& ds, const QualityConfig& cfg) {
+  QualityReport rep;
+  rep.n_samples = ds.size();
+  const auto& v = ds.samples();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const SampleRecord& s = v[i];
+    for (auto f : kNumericFields) {
+      const double x = s.*f;
+      if (std::isnan(x)) {
+        ++rep.nan_fields;
+      } else if (std::isinf(x)) {
+        ++rep.inf_fields;
+      }
+    }
+    if (!s.has_panel_geometry()) ++rep.missing_geometry;
+    rep.out_of_range += out_of_range_fields(s, cfg);
+
+    // Timestamp defects are judged in stored order within each run block.
+    if (i == 0 || !same_key(v[i - 1], s)) {
+      ++rep.n_runs;
+    } else {
+      const double dt = s.timestamp_s - v[i - 1].timestamp_s;
+      if (std::isnan(dt)) continue;  // already counted as a NaN field
+      if (dt < 0.0) {
+        ++rep.out_of_order;
+      } else if (dt == 0.0) {
+        ++rep.duplicate_timestamps;
+      } else if (dt > cfg.max_gap_s) {
+        ++rep.timestamp_gaps;
+      }
+    }
+  }
+  return rep;
+}
+
+RepairSummary repair(Dataset& ds, const RepairPolicy& policy) {
+  RepairSummary sum;
+
+  // Normalize to the same (area, trajectory, run, time) order clean()
+  // produces; count the rows that time-sorting actually moved.
+  std::vector<SampleRecord> rows = ds.samples();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const SampleRecord& a, const SampleRecord& b) {
+                     return std::tie(a.area, a.trajectory_id, a.run_id) <
+                            std::tie(b.area, b.trajectory_id, b.run_id);
+                   });
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (same_key(rows[i - 1], rows[i]) &&
+        rows[i].timestamp_s < rows[i - 1].timestamp_s) {
+      ++sum.rows_reordered;
+    }
+  }
+
+  std::vector<SampleRecord> kept;
+  kept.reserve(rows.size());
+  std::size_t i = 0;
+  while (i < rows.size()) {
+    std::size_t j = i;
+    while (j < rows.size() && same_key(rows[i], rows[j])) ++j;
+
+    // Rows whose timestamp is not finite cannot be ordered or repaired.
+    std::vector<SampleRecord*> run;
+    run.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) {
+      if (std::isfinite(rows[k].timestamp_s)) {
+        run.push_back(&rows[k]);
+      } else {
+        ++sum.rows_dropped;
+      }
+    }
+    if (policy.sort_within_run) {
+      std::stable_sort(run.begin(), run.end(),
+                       [](const SampleRecord* a, const SampleRecord* b) {
+                         return a->timestamp_s < b->timestamp_s;
+                       });
+    }
+    std::vector<bool> alive(run.size(), true);
+    if (policy.drop_duplicate_timestamps && !run.empty()) {
+      std::size_t last_kept = 0;
+      for (std::size_t k = 1; k < run.size(); ++k) {
+        if (run[k]->timestamp_s == run[last_kept]->timestamp_s) {
+          alive[k] = false;
+          ++sum.duplicates_dropped;
+        } else {
+          last_kept = k;
+        }
+      }
+    }
+
+    std::vector<bool> gps_touched(run.size(), false);
+    const auto apply = [&](auto& fields, FieldRepair mode, bool is_gps) {
+      for (auto f : fields) {
+        repair_field(run, alive, f, mode, policy.max_repair_span_s, sum,
+                     gps_touched, is_gps);
+      }
+    };
+    apply(kGpsFields, policy.gps, /*is_gps=*/true);
+    apply(kCompassFields, policy.compass, false);
+    apply(kSpeedFields, policy.speed, false);
+    apply(kSignalFields, policy.signal, false);
+
+    for (std::size_t k = 0; k < run.size(); ++k) {
+      if (!alive[k]) continue;
+      SampleRecord& s = *run[k];
+      if (policy.drop_nan_throughput && !std::isfinite(s.throughput_mbps)) {
+        alive[k] = false;
+        ++sum.rows_dropped;
+        continue;
+      }
+      if (policy.drop_out_of_range &&
+          out_of_range_fields(s, policy.limits) > 0) {
+        alive[k] = false;
+        ++sum.rows_dropped;
+        continue;
+      }
+      if (gps_touched[k]) {
+        // Keep the L feature group consistent with the repaired fix.
+        const geo::PixelCoord px =
+            geo::pixelize({s.latitude, s.longitude}, policy.pixel_zoom);
+        s.pixel_x = px.x;
+        s.pixel_y = px.y;
+      }
+      kept.push_back(s);
+    }
+    i = j;
+  }
+  ds = Dataset(std::move(kept));
+  return sum;
+}
+
+}  // namespace lumos::data

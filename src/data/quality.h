@@ -1,0 +1,105 @@
+// Data-quality layer: validate a dataset against the per-second
+// measurement contract (no NaN/Inf telemetry, monotone gap-free
+// timestamps, physically plausible ranges) and repair violations with a
+// configurable per-field-class policy before the feature pipeline sees
+// them. The paper's §3.1 cleaning rules (GPS-error discard, warm-up trim,
+// pixelization) assume well-formed input; this layer is what makes that
+// assumption hold on impaired traces (see sim/faults.h for the fault
+// model it is tested against).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace lumos::data {
+
+/// Thresholds used by validate() and by the out-of-range repair step.
+struct QualityConfig {
+  double max_gap_s = 2.5;  ///< dt above this counts as a timestamp gap
+                           ///< (nominal cadence is 1 sample/s)
+  double max_throughput_mbps = 10000.0;
+  double min_dbm = -160.0;  ///< plausible RSRP/RSSI band
+  double max_dbm = -20.0;
+  /// RSRQ is a quality ratio in dB, not a power in dBm: LTE reports
+  /// [-19.5, -3], NR SS-RSRQ [-43, 20]; use a permissive common band.
+  double min_rsrq_db = -43.0;
+  double max_rsrq_db = 0.0;
+};
+
+/// Per-defect counts over a dataset. Runs are walked in stored order —
+/// validate() deliberately does NOT sort first, so out-of-order rows are
+/// visible to it.
+struct QualityReport {
+  std::size_t n_samples = 0;
+  std::size_t n_runs = 0;
+  std::size_t nan_fields = 0;  ///< NaN in non-geometry numeric fields
+  std::size_t inf_fields = 0;
+  std::size_t missing_geometry = 0;  ///< NaN T-features (legitimate
+                                     ///< "panel not surveyed" sentinel)
+  std::size_t timestamp_gaps = 0;
+  std::size_t duplicate_timestamps = 0;
+  std::size_t out_of_order = 0;
+  std::size_t out_of_range = 0;
+
+  /// Defect total; the geometry sentinel is not a defect.
+  std::size_t total_defects() const noexcept {
+    return nan_fields + inf_fields + timestamp_gaps + duplicate_timestamps +
+           out_of_order + out_of_range;
+  }
+  bool clean() const noexcept { return total_defects() == 0; }
+
+  std::string describe() const;
+};
+
+QualityReport validate(const Dataset& ds, const QualityConfig& cfg = {});
+
+/// What to do with a NaN field of a given class.
+enum class FieldRepair : std::uint8_t {
+  kDrop,         ///< remove the whole row
+  kHoldLast,     ///< repeat the last valid value of the run
+  kInterpolate,  ///< linear interpolation in time between valid neighbours
+};
+
+struct RepairPolicy {
+  FieldRepair gps = FieldRepair::kInterpolate;  ///< lat / lon / accuracy
+  FieldRepair compass = FieldRepair::kHoldLast;
+  FieldRepair speed = FieldRepair::kHoldLast;
+  FieldRepair signal = FieldRepair::kHoldLast;  ///< *_rsrp / *_rsrq / *_rssi
+
+  /// Ground truth is never fabricated: rows with NaN throughput are
+  /// dropped regardless of the field policies above.
+  bool drop_nan_throughput = true;
+  bool sort_within_run = true;  ///< stable-sort each run by timestamp
+  bool drop_duplicate_timestamps = true;
+  bool drop_out_of_range = true;
+
+  /// Hold-last / interpolation never bridges a gap longer than this; the
+  /// affected rows are dropped instead (a 60 s GPS outage is not a line).
+  double max_repair_span_s = 5.0;
+  int pixel_zoom = 17;  ///< re-pixelization zoom for repaired GPS fixes
+
+  QualityConfig limits{};
+};
+
+struct RepairSummary {
+  std::size_t rows_dropped = 0;
+  std::size_t duplicates_dropped = 0;
+  std::size_t rows_reordered = 0;
+  std::size_t fields_held = 0;
+  std::size_t fields_interpolated = 0;
+
+  std::size_t total_repairs() const noexcept {
+    return rows_dropped + duplicates_dropped + rows_reordered + fields_held +
+           fields_interpolated;
+  }
+};
+
+/// Repairs `ds` in place per `policy` and returns what was done.
+/// Deterministic; on a dataset whose validate() report is clean this is a
+/// bit-identical no-op. Repaired GPS fixes are re-pixelized so the L
+/// feature group stays consistent with the repaired coordinates.
+RepairSummary repair(Dataset& ds, const RepairPolicy& policy = {});
+
+}  // namespace lumos::data

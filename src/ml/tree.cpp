@@ -15,15 +15,25 @@ void BinMapper::fit(const FeatureMatrix& x, int n_bins) {
   const std::size_t n = x.rows();
   edges_.assign(d, {});
   if (n == 0) return;
-  std::vector<double> col(n);
+  std::vector<double> col;
+  col.reserve(n);
   for (std::size_t f = 0; f < d; ++f) {
-    for (std::size_t r = 0; r < n; ++r) col[r] = x.at(r, f);
+    // Quantiles come from the finite values only; NaN is not orderable
+    // (sorting it is UB via strict-weak-ordering violation) and gets its
+    // own dedicated code in bin().
+    col.clear();
+    for (std::size_t r = 0; r < n; ++r) {
+      const double v = x.at(r, f);
+      if (!std::isnan(v)) col.push_back(v);
+    }
+    if (col.empty()) continue;  // all-missing feature: single bin 0
     std::sort(col.begin(), col.end());
+    const std::size_t m = col.size();
     auto& e = edges_[f];
     e.reserve(static_cast<std::size_t>(n_bins));
     for (int b = 1; b < n_bins; ++b) {
       const double q = static_cast<double>(b) / n_bins;
-      const auto idx = static_cast<std::size_t>(q * static_cast<double>(n - 1));
+      const auto idx = static_cast<std::size_t>(q * static_cast<double>(m - 1));
       const double cut = col[idx];
       if (e.empty() || cut > e.back()) e.push_back(cut);
     }
@@ -31,6 +41,7 @@ void BinMapper::fit(const FeatureMatrix& x, int n_bins) {
 }
 
 std::uint16_t BinMapper::bin(std::size_t f, double v) const noexcept {
+  if (std::isnan(v)) return missing_code();
   const auto& e = edges_[f];
   // First bin whose cut point is >= v; values above all cuts land in the
   // last bin.
@@ -80,6 +91,7 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
   gains_.clear();
   const std::size_t d = mapper.n_features();
   const auto n_bins = static_cast<std::size_t>(mapper.max_bins());
+  missing_code_ = mapper.missing_code();
   if (indices.empty() || d == 0) {
     nodes_.push_back(Node{});
     gains_.push_back(0.0);
@@ -88,9 +100,9 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
 
   std::vector<std::size_t> idx(indices.begin(), indices.end());
 
-  // Reusable histogram buffers.
-  std::vector<double> hist_g(n_bins), hist_h(n_bins);
-  std::vector<std::size_t> hist_c(n_bins);
+  // Reusable histogram buffers; the extra slot is the missing-value bin.
+  std::vector<double> hist_g(n_bins + 1), hist_h(n_bins + 1);
+  std::vector<std::size_t> hist_c(n_bins + 1);
   std::vector<std::size_t> feat_pool(d);
   std::iota(feat_pool.begin(), feat_pool.end(), std::size_t{0});
 
@@ -150,6 +162,15 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
         hh[b] += hess[r];
         ++hc[b];
       }
+      // Missing-bin mass: scored with the missing rows attached to the
+      // right child (option R, matching the historical NaN fallthrough)
+      // and to the left child (option L); the better direction is learned
+      // as the split's default branch, ties keeping R. With no missing
+      // values the missing bin is empty, option L collapses onto option R
+      // and the scan is bit-identical to the NaN-oblivious one.
+      const double gm = hg[n_bins];
+      const double hm = hh[n_bins];
+      const std::size_t cm = hc[n_bins];
       Split local;
       double gl = 0.0, hl = 0.0;
       std::size_t cl = 0;
@@ -157,15 +178,28 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
         gl += hg[b];
         hl += hh[b];
         cl += hc[b];
-        if (cl < cfg.min_samples_leaf) continue;
-        const std::size_t cr = count - cl;
+        const std::size_t cr = count - cl;  // right child under option R
         if (cr < cfg.min_samples_leaf) break;
-        const double gr = gsum - gl;
-        const double hr = hsum - hl;
-        const double gain = gl * gl / (hl + cfg.lambda) +
-                            gr * gr / (hr + cfg.lambda) - parent_score;
-        if (gain > local.gain) {
-          local = {static_cast<int>(f), static_cast<int>(b), gain};
+        if (cl >= cfg.min_samples_leaf) {
+          const double gr = gsum - gl;
+          const double hr = hsum - hl;
+          const double gain = gl * gl / (hl + cfg.lambda) +
+                              gr * gr / (hr + cfg.lambda) - parent_score;
+          if (gain > local.gain) {
+            local = {static_cast<int>(f), static_cast<int>(b), gain, false};
+          }
+        }
+        if (cm > 0 && cl + cm >= cfg.min_samples_leaf &&
+            cr >= cm + cfg.min_samples_leaf) {
+          const double gll = gl + gm;
+          const double hll = hl + hm;
+          const double grr = gsum - gll;
+          const double hrr = hsum - hll;
+          const double gain = gll * gll / (hll + cfg.lambda) +
+                              grr * grr / (hrr + cfg.lambda) - parent_score;
+          if (gain > local.gain) {
+            local = {static_cast<int>(f), static_cast<int>(b), gain, true};
+          }
         }
       }
       fbest[fi] = local;
@@ -173,8 +207,8 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
 
     if (count >= kParallelNodeRows && nf > 1) {
       parallel_for(0, nf, 1, [&](std::size_t fb, std::size_t fe) {
-        std::vector<double> hg(n_bins), hh(n_bins);
-        std::vector<std::size_t> hc(n_bins);
+        std::vector<double> hg(n_bins + 1), hh(n_bins + 1);
+        std::vector<std::size_t> hc(n_bins + 1);
         for (std::size_t fi = fb; fi < fe; ++fi) eval_feature(fi, hg, hh, hc);
       });
     } else {
@@ -190,13 +224,17 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
 
     if (best.feature < 0 || best.gain <= cfg.min_gain) continue;
 
-    // Partition the index range: codes <= bin go left.
+    // Partition the index range: codes <= bin go left; the missing code
+    // follows the learned default direction.
     const auto bf = static_cast<std::size_t>(best.feature);
+    const std::uint16_t missing = missing_code_;
     const auto mid_it = std::partition(
         idx.begin() + static_cast<std::ptrdiff_t>(task.begin),
         idx.begin() + static_cast<std::ptrdiff_t>(task.end),
         [&](std::size_t r) {
-          return codes[r * d + bf] <= static_cast<std::uint16_t>(best.bin);
+          const std::uint16_t c = codes[r * d + bf];
+          if (c == missing) return best.default_left;
+          return c <= static_cast<std::uint16_t>(best.bin);
         });
     const auto mid =
         static_cast<std::size_t>(mid_it - idx.begin());
@@ -205,6 +243,7 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
     Node& node = nodes_[static_cast<std::size_t>(task.node)];
     node.feature = best.feature;
     node.bin = best.bin;
+    node.default_left = best.default_left;
     node.threshold = mapper.upper_edge(bf, static_cast<std::uint16_t>(best.bin));
     gains_[static_cast<std::size_t>(task.node)] = best.gain;
 
@@ -228,10 +267,12 @@ double GradientTree::predict_binned(
   int cur = 0;
   while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
     const Node& n = nodes_[static_cast<std::size_t>(cur)];
-    cur = row_codes[static_cast<std::size_t>(n.feature)] <=
-                  static_cast<std::uint16_t>(n.bin)
-              ? n.left
-              : n.right;
+    const std::uint16_t c = row_codes[static_cast<std::size_t>(n.feature)];
+    if (c == missing_code_) {
+      cur = n.default_left ? n.left : n.right;
+    } else {
+      cur = c <= static_cast<std::uint16_t>(n.bin) ? n.left : n.right;
+    }
   }
   return nodes_[static_cast<std::size_t>(cur)].value;
 }
@@ -241,8 +282,12 @@ double GradientTree::predict(std::span<const double> row) const noexcept {
   int cur = 0;
   while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
     const Node& n = nodes_[static_cast<std::size_t>(cur)];
-    cur = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
-                                                                  : n.right;
+    const double v = row[static_cast<std::size_t>(n.feature)];
+    if (std::isnan(v)) {
+      cur = n.default_left ? n.left : n.right;
+    } else {
+      cur = v <= n.threshold ? n.left : n.right;
+    }
   }
   return nodes_[static_cast<std::size_t>(cur)].value;
 }

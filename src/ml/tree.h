@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -17,15 +18,26 @@
 namespace lumos::ml {
 
 /// Quantile-based feature binning shared by all trees of an ensemble.
+/// NaN feature values are first-class citizens: fit() learns quantiles
+/// from the finite values only, and bin() maps NaN to a dedicated
+/// missing-value code (missing_code()) that trees route along a learned
+/// default branch direction.
 class BinMapper {
  public:
   BinMapper() = default;
 
-  /// Learns up to `n_bins` bins per feature from quantiles of `x`.
+  /// Learns up to `n_bins` bins per feature from quantiles of the
+  /// non-NaN values of `x`.
   void fit(const FeatureMatrix& x, int n_bins);
 
-  /// Bin code of a raw value for feature `f`.
+  /// Bin code of a raw value for feature `f`; NaN maps to missing_code().
   std::uint16_t bin(std::size_t f, double v) const noexcept;
+
+  /// The reserved code for missing (NaN) values: one past the last real
+  /// bin, so histogram buffers need max_bins() + 1 slots.
+  std::uint16_t missing_code() const noexcept {
+    return static_cast<std::uint16_t>(max_bins_);
+  }
 
   /// Upper boundary value of bin `b` for feature `f`: the split threshold
   /// "x <= threshold goes left" for a split after bin b.
@@ -61,6 +73,12 @@ class GradientTree {
     int left = -1;
     int right = -1;
     double value = 0.0;  ///< leaf output
+    /// Which branch a missing (NaN) value takes. Learned during fit():
+    /// when the node's training rows contain missing values, both
+    /// directions are scored and the better one wins (ties keep right,
+    /// matching the historical NaN-comparison fallthrough); when they
+    /// don't, the direction stays right.
+    bool default_left = false;
   };
 
   /// Fits on pre-binned codes (row-major n x d, matching `mapper`).
@@ -78,13 +96,17 @@ class GradientTree {
            std::span<const std::size_t> indices, const TreeConfig& cfg,
            Rng* rng = nullptr);
 
+  /// Predicts from a raw feature row. A NaN value takes the split's
+  /// learned default branch (Node::default_left) instead of the
+  /// comparison fallthrough.
   double predict(std::span<const double> row) const noexcept;
 
   /// Predicts from one row of pre-binned codes (length = n_features of the
   /// mapper used at fit time). Reaches exactly the same leaf as predict()
   /// on the raw row: a raw value satisfies `v <= upper_edge(f, bin)` iff
-  /// its code satisfies `code <= bin`. Used by the boosting loop to avoid
-  /// re-binning every training row each round.
+  /// its code satisfies `code <= bin`, and the missing code routes along
+  /// the same default branch as a raw NaN. Used by the boosting loop to
+  /// avoid re-binning every training row each round.
   double predict_binned(std::span<const std::uint16_t> row_codes)
       const noexcept;
 
@@ -99,10 +121,14 @@ class GradientTree {
     int feature = -1;
     int bin = -1;
     double gain = 0.0;
+    bool default_left = false;  ///< where the missing bin goes
   };
 
   std::vector<Node> nodes_;
   std::vector<double> gains_;  ///< gain of the split at each internal node
+  /// Code that marks a missing value in pre-binned rows (the fitting
+  /// mapper's missing_code()); kept so predict_binned can route it.
+  std::uint16_t missing_code_ = std::numeric_limits<std::uint16_t>::max();
 };
 
 }  // namespace lumos::ml

@@ -1,0 +1,146 @@
+#include "sim/faults.h"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lumos::sim {
+namespace {
+
+/// Metres-per-degree at mid latitudes; good enough for jitter injection
+/// (the repair path never needs the inverse).
+constexpr double kMetersPerDegLat = 111320.0;
+
+double wrap_deg(double d) noexcept {
+  d = std::fmod(d, 360.0);
+  if (d < 0.0) d += 360.0;
+  return d;
+}
+
+bool same_run(const data::SampleRecord& a, const data::SampleRecord& b) {
+  return a.area == b.area && a.trajectory_id == b.trajectory_id &&
+         a.run_id == b.run_id;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::uniform(double r) noexcept {
+  FaultConfig c;
+  c.gps_dropout = r;
+  c.gps_jitter = r;
+  c.compass_noise = r;
+  c.signal_loss = r;
+  c.sample_loss = r;
+  c.duplicate = r;
+  c.out_of_order = r;
+  c.field_corruption = r;
+  return c;
+}
+
+data::Dataset FaultInjector::inject(const data::Dataset& ds) const {
+  Rng rng(seed_);
+  std::vector<data::SampleRecord> out;
+  out.reserve(ds.size());
+  for (const auto& src : ds.samples()) {
+    if (rng.bernoulli(cfg_.sample_loss)) continue;  // row never logged
+
+    data::SampleRecord rec = src;
+    if (rng.bernoulli(cfg_.gps_dropout)) {
+      rec.latitude = data::SampleRecord::nan_value();
+      rec.longitude = data::SampleRecord::nan_value();
+      rec.gps_accuracy_m = data::SampleRecord::nan_value();
+    } else if (rng.bernoulli(cfg_.gps_jitter)) {
+      const double cos_lat =
+          std::max(0.2, std::cos(rec.latitude * 3.14159265358979323846 / 180.0));
+      rec.latitude +=
+          rng.normal(0.0, cfg_.gps_jitter_sigma_m) / kMetersPerDegLat;
+      rec.longitude += rng.normal(0.0, cfg_.gps_jitter_sigma_m) /
+                       (kMetersPerDegLat * cos_lat);
+      // The reported accuracy does NOT reflect the real error — that is
+      // what makes jitter a fault rather than honest sensor noise.
+    }
+    if (rng.bernoulli(cfg_.compass_noise)) {
+      rec.compass_deg =
+          wrap_deg(rec.compass_deg + rng.normal(0.0, cfg_.compass_sigma_deg));
+      rec.compass_accuracy += cfg_.compass_sigma_deg;
+    }
+    const double p_signal = rec.radio_type == data::RadioType::kLte
+                                ? std::min(1.0, 4.0 * cfg_.signal_loss)
+                                : cfg_.signal_loss;
+    if (rng.bernoulli(p_signal)) {
+      rec.lte_rsrp = data::SampleRecord::nan_value();
+      rec.lte_rsrq = data::SampleRecord::nan_value();
+      rec.lte_rssi = data::SampleRecord::nan_value();
+      rec.nr_ssrsrp = data::SampleRecord::nan_value();
+      rec.nr_ssrsrq = data::SampleRecord::nan_value();
+      rec.nr_ssrssi = data::SampleRecord::nan_value();
+    }
+
+    out.push_back(std::move(rec));
+    if (rng.bernoulli(cfg_.duplicate)) {
+      out.push_back(out.back());  // logged twice, same timestamp
+    }
+    if (rng.bernoulli(cfg_.out_of_order) && out.size() >= 2 &&
+        same_run(out[out.size() - 2], out.back())) {
+      std::swap(out[out.size() - 2], out.back());
+    }
+  }
+  return data::Dataset(std::move(out));
+}
+
+std::size_t FaultInjector::corrupt_csv(const std::string& in_path,
+                                       const std::string& out_path) const {
+  std::ifstream in(in_path);
+  if (!in) {
+    throw std::runtime_error("FaultInjector::corrupt_csv: cannot open " +
+                             in_path);
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    throw std::runtime_error("FaultInjector::corrupt_csv: cannot open " +
+                             out_path);
+  }
+  Rng rng(seed_ ^ 0xc0ffee);
+  static constexpr const char* kJunk[] = {"", "garbage", "1e999999"};
+  std::string line;
+  std::size_t corrupted = 0;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {  // keep the header intact: corruption hits data rows
+      out << line << '\n';
+      header = false;
+      continue;
+    }
+    std::string field;
+    std::string rebuilt;
+    const auto flush = [&] {
+      if (rng.bernoulli(cfg_.field_corruption)) {
+        field = kJunk[rng.uniform_int(3)];
+        ++corrupted;
+      }
+      rebuilt += field;
+      field.clear();
+    };
+    for (const char ch : line) {
+      if (ch == ',') {
+        flush();
+        rebuilt += ',';
+      } else {
+        field.push_back(ch);
+      }
+    }
+    flush();
+    out << rebuilt << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("FaultInjector::corrupt_csv: write failed for " +
+                             out_path);
+  }
+  return corrupted;
+}
+
+}  // namespace lumos::sim

@@ -172,7 +172,7 @@ TEST(Lumos5GFacade, TrainAndPredictOnline) {
   cfg.gbdt.n_estimators = 60;
   Lumos5G predictor(cfg);
   EXPECT_FALSE(predictor.trained());
-  predictor.train(airport_ds());
+  ASSERT_TRUE(predictor.train(airport_ds()).has_value());
   EXPECT_TRUE(predictor.trained());
 
   // Use a real window from the dataset.
@@ -187,12 +187,24 @@ TEST(Lumos5GFacade, TrainAndPredictOnline) {
   EXPECT_LE(pred->throughput_mbps, 2500.0);
   EXPECT_GE(pred->throughput_class, 0);
   EXPECT_LT(pred->throughput_class, 3);
+  // A full-context window is answered by the primary tier.
+  EXPECT_EQ(pred->tier, 0);
+  EXPECT_EQ(pred->feature_group, "L+M+C");
 }
 
-TEST(Lumos5GFacade, UntrainedReturnsNullopt) {
+TEST(Lumos5GFacade, UntrainedPredictIsTypedError) {
   Lumos5G predictor;
   std::vector<data::SampleRecord> window(5);
-  EXPECT_FALSE(predictor.predict(window).has_value());
+  const auto pred = predictor.predict(window);
+  ASSERT_FALSE(pred.has_value());
+  EXPECT_EQ(pred.error().code, ErrorCode::kNotTrained);
+}
+
+TEST(Lumos5GFacade, UntrainedFeatureImportanceIsTypedError) {
+  Lumos5G predictor;
+  const auto imp = predictor.feature_importance();
+  ASSERT_FALSE(imp.has_value());
+  EXPECT_EQ(imp.error().code, ErrorCode::kNotTrained);
 }
 
 TEST(Lumos5GFacade, FeatureImportanceAlignsWithNames) {
@@ -200,18 +212,22 @@ TEST(Lumos5GFacade, FeatureImportanceAlignsWithNames) {
   cfg.feature_spec = FeatureSetSpec::parse("L+M");
   cfg.gbdt.n_estimators = 40;
   Lumos5G predictor(cfg);
-  predictor.train(airport_ds());
+  ASSERT_TRUE(predictor.train(airport_ds()).has_value());
   const auto imp = predictor.feature_importance();
-  ASSERT_EQ(imp.size(), predictor.feature_names().size());
+  ASSERT_TRUE(imp.has_value());
+  ASSERT_EQ(imp->size(), predictor.feature_names().size());
   double total = 0.0;
-  for (double v : imp) total += v;
+  for (double v : *imp) total += v;
   EXPECT_NEAR(total, 1.0, 1e-6);
 }
 
-TEST(Lumos5GFacade, TooSmallDatasetThrows) {
+TEST(Lumos5GFacade, TooSmallDatasetIsTypedError) {
   Lumos5G predictor;
   data::Dataset tiny;
-  EXPECT_THROW(predictor.train(tiny), std::runtime_error);
+  const auto r = predictor.train(tiny);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kDatasetTooSmall);
+  EXPECT_FALSE(predictor.trained());
 }
 
 // ---------- throughput map ----------

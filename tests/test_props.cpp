@@ -4,7 +4,9 @@
 // failure-injection tests for the I/O and evaluation paths.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 
 #include "common/rng.h"
@@ -282,6 +284,85 @@ TEST(StandardizerProperty, DoubleTransformEqualsIdentityOnStats) {
   for (double sd : s2.stddev()) EXPECT_NEAR(sd, 1.0, 1e-9);
 }
 
+// ---------- CSV round-trip fidelity ----------
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+TEST(CsvRoundTrip, BitExactWithNaNAndExtremeValues) {
+  const std::string path = ::testing::TempDir() + "lumos_roundtrip.csv";
+  Rng rng(404);
+  data::Dataset ds;
+  for (int i = 0; i < 64; ++i) {
+    data::SampleRecord s;
+    s.area = i % 7 == 0 ? "" : "airport";  // empty leading field
+    s.trajectory_id = i % 3;
+    s.run_id = i % 2;
+    s.timestamp_s = i / 3.0;  // non-terminating binary fraction
+    s.latitude = 44.9 + rng.normal(0.0, 1e-3);
+    s.longitude = -93.2 + rng.uniform() * 1e-7;
+    s.gps_accuracy_m = rng.exponential(1.0);
+    s.moving_speed_mps = i % 5 == 0 ? -0.0 : rng.uniform(0.0, 30.0);
+    s.compass_deg = rng.uniform(0.0, 360.0);
+    s.compass_accuracy = 5e-324;  // smallest denormal
+    s.throughput_mbps = rng.uniform(0.0, 2000.0);
+    s.lte_rsrp = -1.7976931348623157e308;  // -DBL_MAX
+    s.lte_rsrq = rng.normal(-10.0, 1.0);
+    s.lte_rssi = rng.normal(-60.0, 1.0);
+    // NaN in an ordinary telemetry field (LTE-fallback parse failure).
+    s.nr_ssrsrp =
+        i % 4 == 0 ? data::SampleRecord::nan_value() : rng.normal(-85.0, 2.0);
+    s.nr_ssrsrq = rng.normal(-11.0, 1.0);
+    s.nr_ssrssi = rng.normal(-62.0, 1.0);
+    if (i % 2 == 0) {
+      // NaN T-feature sentinel triple (panel not surveyed).
+      s.ue_panel_distance_m = data::SampleRecord::nan_value();
+      s.theta_p_deg = data::SampleRecord::nan_value();
+      s.theta_m_deg = data::SampleRecord::nan_value();
+    } else {
+      s.ue_panel_distance_m = rng.uniform(10.0, 300.0);
+      s.theta_p_deg = rng.uniform(-180.0, 180.0);
+      s.theta_m_deg = rng.uniform(-180.0, 180.0);
+    }
+    s.pixel_x = 123456 + i;
+    s.pixel_y = -789 + i;
+    ds.append(s);
+  }
+  data::write_csv(ds, path);
+  const data::Dataset back = data::read_csv(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(back.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto& a = ds[i];
+    const auto& b = back[i];
+    ASSERT_EQ(a.area, b.area) << i;
+    ASSERT_EQ(a.trajectory_id, b.trajectory_id);
+    ASSERT_EQ(a.run_id, b.run_id);
+    ASSERT_EQ(a.pixel_x, b.pixel_x);
+    ASSERT_EQ(a.pixel_y, b.pixel_y);
+    const double va[] = {a.timestamp_s,      a.latitude,      a.longitude,
+                         a.gps_accuracy_m,   a.moving_speed_mps,
+                         a.compass_deg,      a.compass_accuracy,
+                         a.throughput_mbps,  a.lte_rsrp,      a.lte_rsrq,
+                         a.lte_rssi,         a.nr_ssrsrp,     a.nr_ssrsrq,
+                         a.nr_ssrssi,        a.ue_panel_distance_m,
+                         a.theta_p_deg,      a.theta_m_deg};
+    const double vb[] = {b.timestamp_s,      b.latitude,      b.longitude,
+                         b.gps_accuracy_m,   b.moving_speed_mps,
+                         b.compass_deg,      b.compass_accuracy,
+                         b.throughput_mbps,  b.lte_rsrp,      b.lte_rsrq,
+                         b.lte_rssi,         b.nr_ssrsrp,     b.nr_ssrsrq,
+                         b.nr_ssrssi,        b.ue_panel_distance_m,
+                         b.theta_p_deg,      b.theta_m_deg};
+    for (std::size_t f = 0; f < std::size(va); ++f) {
+      ASSERT_TRUE(same_bits(va[f], vb[f]))
+          << "row " << i << " field " << f << ": " << va[f] << " vs " << vb[f];
+    }
+  }
+}
+
 // ---------- failure injection ----------
 
 TEST(FailureInjection, CsvWithWrongColumnCountThrows) {
@@ -292,6 +373,30 @@ TEST(FailureInjection, CsvWithWrongColumnCountThrows) {
     f << "only,three,fields\n";
   }
   EXPECT_THROW(data::read_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, CsvParseErrorNamesColumnAndLine) {
+  const std::string path = ::testing::TempDir() + "lumos_badcol.csv";
+  data::Dataset ds;
+  data::SampleRecord good;
+  good.area = "x";
+  ds.append(good);
+  data::write_csv(ds, path);  // header (line 1) + one good row (line 2)
+  {
+    std::ofstream f(path, std::ios::app);
+    // Line 3: non-numeric junk in the throughput_mbps column.
+    f << "x,1,0,1,44.9,-93.2,1,0,1.4,90,5,garbage,0,2,-90,-10,-60,"
+         "-80,-10,-60,0,0,nan,nan,nan,100,200\n";
+  }
+  try {
+    (void)data::read_csv(path);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("column 'throughput_mbps'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
   std::remove(path.c_str());
 }
 
