@@ -23,7 +23,8 @@ std::vector<std::vector<double>> usable_cells(const data::Dataset& ds,
     const double step =
         static_cast<double>(cells.size()) / static_cast<double>(cap);
     for (std::size_t i = 0; i < cap; ++i) {
-      sub.push_back(cells[static_cast<std::size_t>(i * step)]);
+      sub.push_back(
+          cells[static_cast<std::size_t>(static_cast<double>(i) * step)]);
     }
     cells = std::move(sub);
   }

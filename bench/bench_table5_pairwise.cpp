@@ -30,7 +30,8 @@ PairwiseResult pairwise_tests(const data::Dataset& ds,
     const double step =
         static_cast<double>(cells.size()) / static_cast<double>(max_cells);
     for (std::size_t i = 0; i < max_cells; ++i) {
-      sub.push_back(cells[static_cast<std::size_t>(i * step)]);
+      sub.push_back(
+          cells[static_cast<std::size_t>(static_cast<double>(i) * step)]);
     }
     cells = std::move(sub);
   }

@@ -248,15 +248,15 @@ bench/CMakeFiles/bench_fig21_congestion.dir/bench_fig21_congestion.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h \
- /root/repo/src/ml/forest.h /root/repo/src/ml/tree.h \
- /root/repo/src/ml/gbdt.h /root/repo/src/ml/knn.h \
- /root/repo/src/ml/kriging.h /root/repo/src/ml/linalg.h \
- /root/repo/src/sim/areas.h /root/repo/src/sim/collector.h \
- /root/repo/src/sim/connection.h /root/repo/src/sim/environment.h \
- /root/repo/src/geo/local_frame.h /root/repo/src/sim/fading.h \
- /root/repo/src/sim/lte.h /root/repo/src/sim/obstacle.h \
- /root/repo/src/sim/panel.h /root/repo/src/sim/propagation.h \
- /root/repo/src/sim/mobility.h /root/repo/src/sim/sensors.h \
- /root/repo/src/sim/congestion.h /root/repo/src/stats/descriptive.h
+ /root/repo/src/common/contracts.h /root/repo/src/nn/dense.h \
+ /root/repo/src/nn/lstm.h /root/repo/src/ml/forest.h \
+ /root/repo/src/ml/tree.h /root/repo/src/ml/gbdt.h \
+ /root/repo/src/ml/knn.h /root/repo/src/ml/kriging.h \
+ /root/repo/src/ml/linalg.h /root/repo/src/sim/areas.h \
+ /root/repo/src/sim/collector.h /root/repo/src/sim/connection.h \
+ /root/repo/src/sim/environment.h /root/repo/src/geo/local_frame.h \
+ /root/repo/src/sim/fading.h /root/repo/src/sim/lte.h \
+ /root/repo/src/sim/obstacle.h /root/repo/src/sim/panel.h \
+ /root/repo/src/sim/propagation.h /root/repo/src/sim/mobility.h \
+ /root/repo/src/sim/sensors.h /root/repo/src/sim/congestion.h \
+ /root/repo/src/stats/descriptive.h

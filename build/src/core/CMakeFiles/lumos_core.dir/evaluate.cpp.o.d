@@ -245,10 +245,9 @@ src/core/CMakeFiles/lumos_core.dir/evaluate.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h \
- /root/repo/src/ml/forest.h /root/repo/src/ml/tree.h \
- /root/repo/src/ml/gbdt.h /root/repo/src/ml/knn.h \
- /root/repo/src/ml/kriging.h /root/repo/src/ml/linalg.h \
- /root/repo/src/data/split.h /root/repo/src/ml/harmonic.h \
- /root/repo/src/ml/metrics.h
+ /root/repo/src/common/contracts.h /root/repo/src/nn/dense.h \
+ /root/repo/src/nn/lstm.h /root/repo/src/ml/forest.h \
+ /root/repo/src/ml/tree.h /root/repo/src/ml/gbdt.h \
+ /root/repo/src/ml/knn.h /root/repo/src/ml/kriging.h \
+ /root/repo/src/ml/linalg.h /root/repo/src/data/split.h \
+ /root/repo/src/ml/harmonic.h /root/repo/src/ml/metrics.h

@@ -247,5 +247,5 @@ src/data/CMakeFiles/lumos_data.dir/features.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h
+ /root/repo/src/common/contracts.h /root/repo/src/nn/dense.h \
+ /root/repo/src/nn/lstm.h

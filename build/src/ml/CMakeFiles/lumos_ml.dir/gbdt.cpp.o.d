@@ -240,4 +240,4 @@ src/ml/CMakeFiles/lumos_ml.dir/gbdt.cpp.o: /root/repo/src/ml/gbdt.cpp \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/contracts.h

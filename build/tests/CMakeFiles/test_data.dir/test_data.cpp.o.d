@@ -333,5 +333,5 @@ tests/CMakeFiles/test_data.dir/test_data.cpp.o: \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
- /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h \
- /root/repo/src/data/split.h
+ /root/repo/src/common/contracts.h /root/repo/src/nn/dense.h \
+ /root/repo/src/nn/lstm.h /root/repo/src/data/split.h

@@ -316,4 +316,4 @@ tests/CMakeFiles/test_geo.dir/test_geo.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geo/angles.h \
  /root/repo/src/geo/coordinates.h /root/repo/src/geo/grid.h \
- /root/repo/src/geo/local_frame.h
+ /root/repo/src/common/contracts.h /root/repo/src/geo/local_frame.h

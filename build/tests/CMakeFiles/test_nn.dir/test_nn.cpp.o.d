@@ -318,6 +318,6 @@ tests/CMakeFiles/test_nn.dir/test_nn.cpp.o: /root/repo/tests/test_nn.cpp \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
- /usr/include/c++/12/span /root/repo/src/nn/dense.h \
- /root/repo/src/nn/loss.h /root/repo/src/nn/lstm.h \
- /root/repo/src/nn/seq2seq.h
+ /usr/include/c++/12/span /root/repo/src/common/contracts.h \
+ /root/repo/src/nn/dense.h /root/repo/src/nn/loss.h \
+ /root/repo/src/nn/lstm.h /root/repo/src/nn/seq2seq.h

@@ -325,12 +325,12 @@ tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o: \
  /root/repo/src/ml/types.h /root/repo/src/nn/seq2seq.h \
  /root/repo/src/common/rng.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
- /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h \
- /root/repo/src/ml/forest.h /root/repo/src/ml/tree.h \
- /root/repo/src/ml/gbdt.h /root/repo/src/sim/areas.h \
- /root/repo/src/sim/collector.h /root/repo/src/sim/connection.h \
- /root/repo/src/sim/environment.h /root/repo/src/geo/local_frame.h \
- /root/repo/src/sim/fading.h /root/repo/src/sim/lte.h \
- /root/repo/src/sim/obstacle.h /root/repo/src/sim/panel.h \
- /root/repo/src/sim/propagation.h /root/repo/src/sim/mobility.h \
- /root/repo/src/sim/sensors.h
+ /root/repo/src/common/contracts.h /root/repo/src/nn/dense.h \
+ /root/repo/src/nn/lstm.h /root/repo/src/ml/forest.h \
+ /root/repo/src/ml/tree.h /root/repo/src/ml/gbdt.h \
+ /root/repo/src/sim/areas.h /root/repo/src/sim/collector.h \
+ /root/repo/src/sim/connection.h /root/repo/src/sim/environment.h \
+ /root/repo/src/geo/local_frame.h /root/repo/src/sim/fading.h \
+ /root/repo/src/sim/lte.h /root/repo/src/sim/obstacle.h \
+ /root/repo/src/sim/panel.h /root/repo/src/sim/propagation.h \
+ /root/repo/src/sim/mobility.h /root/repo/src/sim/sensors.h

@@ -329,15 +329,15 @@ tests/CMakeFiles/test_props.dir/test_props.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/nn/seq2seq.h /root/repo/src/nn/adam.h \
  /root/repo/src/nn/param.h /root/repo/src/nn/matrix.h \
- /root/repo/src/nn/dense.h /root/repo/src/nn/lstm.h \
- /root/repo/src/ml/forest.h /root/repo/src/ml/tree.h \
- /root/repo/src/ml/gbdt.h /root/repo/src/ml/knn.h \
- /root/repo/src/ml/kriging.h /root/repo/src/ml/linalg.h \
- /root/repo/src/data/csv.h /root/repo/src/ml/harmonic.h \
- /root/repo/src/sim/areas.h /root/repo/src/sim/collector.h \
- /root/repo/src/sim/connection.h /root/repo/src/sim/environment.h \
- /root/repo/src/geo/local_frame.h /root/repo/src/sim/fading.h \
- /root/repo/src/sim/lte.h /root/repo/src/sim/obstacle.h \
- /root/repo/src/sim/panel.h /root/repo/src/sim/propagation.h \
- /root/repo/src/sim/mobility.h /root/repo/src/sim/sensors.h \
- /root/repo/src/stats/descriptive.h
+ /root/repo/src/common/contracts.h /root/repo/src/nn/dense.h \
+ /root/repo/src/nn/lstm.h /root/repo/src/ml/forest.h \
+ /root/repo/src/ml/tree.h /root/repo/src/ml/gbdt.h \
+ /root/repo/src/ml/knn.h /root/repo/src/ml/kriging.h \
+ /root/repo/src/ml/linalg.h /root/repo/src/data/csv.h \
+ /root/repo/src/ml/harmonic.h /root/repo/src/sim/areas.h \
+ /root/repo/src/sim/collector.h /root/repo/src/sim/connection.h \
+ /root/repo/src/sim/environment.h /root/repo/src/geo/local_frame.h \
+ /root/repo/src/sim/fading.h /root/repo/src/sim/lte.h \
+ /root/repo/src/sim/obstacle.h /root/repo/src/sim/panel.h \
+ /root/repo/src/sim/propagation.h /root/repo/src/sim/mobility.h \
+ /root/repo/src/sim/sensors.h /root/repo/src/stats/descriptive.h

@@ -16,11 +16,14 @@ include("/root/repo/build/tests/test_props[1]_include.cmake")
 include("/root/repo/build/tests/test_crowd[1]_include.cmake")
 include("/root/repo/build/tests/test_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_lint[1]_include.cmake")
+add_test(test_lint_suite "/root/repo/build/tests/test_lint")
+set_tests_properties(test_lint_suite PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_parallel_env_threads1 "/root/repo/build/tests/test_parallel")
-set_tests_properties(test_parallel_env_threads1 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=1" LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_parallel_env_threads1 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=1" LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;46;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_parallel_env_threads8 "/root/repo/build/tests/test_parallel")
-set_tests_properties(test_parallel_env_threads8 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=8" LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_parallel_env_threads8 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=8" LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_faults_env_threads1 "/root/repo/build/tests/test_faults")
-set_tests_properties(test_faults_env_threads1 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=1" LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;38;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_faults_env_threads1 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=1" LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_faults_env_threads8 "/root/repo/build/tests/test_faults")
-set_tests_properties(test_faults_env_threads8 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=8" LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_faults_env_threads8 PROPERTIES  ENVIRONMENT "LUMOS_THREADS=8" LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;59;add_test;/root/repo/tests/CMakeLists.txt;0;")

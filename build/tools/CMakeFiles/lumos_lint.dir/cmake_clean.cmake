@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_lint.dir/lumos_lint/main.cpp.o"
+  "CMakeFiles/lumos_lint.dir/lumos_lint/main.cpp.o.d"
+  "lumos_lint"
+  "lumos_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumos_lint_lib.dir/lumos_lint/lint.cpp.o"
+  "CMakeFiles/lumos_lint_lib.dir/lumos_lint/lint.cpp.o.d"
+  "liblumos_lint_lib.a"
+  "liblumos_lint_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumos_lint_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblumos_lint_lib.a"
+)

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     // Weight by the upload's GPS quality (mean reported accuracy).
     double err = 0.0;
     for (const auto& s : ds.samples()) err += s.gps_accuracy_m;
-    err /= std::max<std::size_t>(1, ds.size());
+    err /= static_cast<double>(std::max<std::size_t>(1, ds.size()));
     core::Contribution c;
     c.samples = std::move(ds);
     c.weight = 1.0 / (1.0 + err);

@@ -1,0 +1,52 @@
+// Contract macros for internal invariants, preconditions and
+// postconditions. Three spellings with identical mechanics but distinct
+// intent, so a failure message tells the reader *whose* bug it is:
+//
+//   LUMOS_EXPECTS(cond, msg)  precondition  — the caller passed bad input
+//   LUMOS_ENSURES(cond, msg)  postcondition — this function failed its own
+//                                             promise
+//   LUMOS_ASSERT(cond, msg)   invariant     — internal state is corrupt
+//
+// All three compile to nothing under NDEBUG (release builds pay zero cost
+// on the hot paths they guard); in debug builds a violation prints the
+// kind, the failed expression, the message and file:line to stderr, then
+// aborts — so a contract break dies loudly at the broken line instead of
+// surfacing as a wrong prediction three layers up.
+//
+// These are for states that are *unreachable unless the code is wrong*.
+// Recoverable conditions (bad user config, unusable query window, short
+// dataset) must keep returning Expected<T> / lumos::Error — see
+// common/error.h and the error-discipline lint rules in tools/lumos_lint.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lumos::detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* msg, const char* file,
+                                       int line) noexcept {
+  std::fprintf(stderr, "%s:%d: %s violated: (%s) — %s\n", file, line, kind,
+               expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lumos::detail
+
+#ifdef NDEBUG
+#define LUMOS_CONTRACT_(kind, cond, msg) ((void)0)
+#else
+#define LUMOS_CONTRACT_(kind, cond, msg)                                  \
+  ((cond) ? (void)0                                                       \
+          : ::lumos::detail::contract_fail(kind, #cond, msg, __FILE__,    \
+                                           __LINE__))
+#endif
+
+/// Internal invariant: state reachable only through a bug in this module.
+#define LUMOS_ASSERT(cond, msg) LUMOS_CONTRACT_("invariant", cond, msg)
+/// Precondition: the caller broke this function's contract.
+#define LUMOS_EXPECTS(cond, msg) LUMOS_CONTRACT_("precondition", cond, msg)
+/// Postcondition: this function broke its own promise to the caller.
+#define LUMOS_ENSURES(cond, msg) LUMOS_CONTRACT_("postcondition", cond, msg)

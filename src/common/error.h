@@ -36,7 +36,7 @@ inline const char* to_string(ErrorCode c) noexcept {
   return "?";
 }
 
-struct Error {
+struct [[nodiscard]] Error {
   ErrorCode code = ErrorCode::kInvalidArgument;
   std::string message;
 

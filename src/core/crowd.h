@@ -32,7 +32,7 @@ struct CrowdCellStats {
 /// Aggregated crowd map over ~2 m cells (pixel/cell_px grid).
 class CrowdMap {
  public:
-  static CrowdMap build(const std::vector<Contribution>& uploads,
+  [[nodiscard]] static CrowdMap build(const std::vector<Contribution>& uploads,
                         std::int64_t cell_px = 2);
 
   const std::map<std::pair<std::int64_t, std::int64_t>, CrowdCellStats>&
@@ -40,7 +40,8 @@ class CrowdMap {
     return cells_;
   }
 
-  const CrowdCellStats* lookup(std::int64_t px, std::int64_t py) const noexcept;
+  [[nodiscard]] const CrowdCellStats* lookup(
+      std::int64_t px, std::int64_t py) const noexcept;
 
   /// Cells covered by at least `min_contributors` distinct uploads —
   /// the "trustworthy" fraction of the map.

@@ -165,7 +165,8 @@ EvalResult eval_seq2seq(const data::Dataset& ds, const FeatureSetSpec& spec,
     const double step = static_cast<double>(built.samples.size()) /
                         static_cast<double>(kMaxWindows);
     for (std::size_t i = 0; i < kMaxWindows; ++i) {
-      const auto idx = static_cast<std::size_t>(i * step);
+      const auto idx =
+          static_cast<std::size_t>(static_cast<double>(i) * step);
       sub.push_back(std::move(built.samples[idx]));
       src.push_back(built.source_index[idx]);
     }

@@ -58,7 +58,7 @@ struct EvalResult {
 /// Runs the full train/eval pipeline for one (model, feature group) cell.
 /// Returns valid=false for inapplicable combinations (e.g. Kriging beyond
 /// group L, or T groups on a dataset without panel geometry).
-EvalResult evaluate_model(ModelKind kind, const data::Dataset& ds,
+[[nodiscard]] EvalResult evaluate_model(ModelKind kind, const data::Dataset& ds,
                           const data::FeatureSetSpec& spec,
                           const ExperimentConfig& cfg = {});
 
@@ -72,13 +72,14 @@ struct GridCell {
 /// (pool size = LUMOS_THREADS). Each cell is trained single-threaded while
 /// running on a pool worker (nested parallel regions fall back inline), so
 /// every EvalResult is identical to a sequential evaluate_model call.
-std::vector<EvalResult> evaluate_grid(const data::Dataset& ds,
+[[nodiscard]] std::vector<EvalResult> evaluate_grid(const data::Dataset& ds,
                                       std::span<const GridCell> cells,
                                       const ExperimentConfig& cfg = {});
 
 /// Transferability (paper §6.2): train on `train_ds`, test on `test_ds`
 /// (e.g. North-panel vs South-panel samples), classification metrics only.
-EvalResult evaluate_transfer(ModelKind kind, const data::Dataset& train_ds,
+[[nodiscard]] EvalResult evaluate_transfer(ModelKind kind,
+                                           const data::Dataset& train_ds,
                              const data::Dataset& test_ds,
                              const data::FeatureSetSpec& spec,
                              const ExperimentConfig& cfg = {});
@@ -88,7 +89,8 @@ struct TracePredictions {
   std::vector<double> actual;
   std::vector<double> predicted;
 };
-TracePredictions predict_test_trace(ModelKind kind, const data::Dataset& ds,
+[[nodiscard]] TracePredictions predict_test_trace(ModelKind kind,
+                                                  const data::Dataset& ds,
                                     const data::FeatureSetSpec& spec,
                                     const ExperimentConfig& cfg,
                                     std::size_t max_points = 200);

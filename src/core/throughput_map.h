@@ -24,7 +24,8 @@ class ThroughputMap {
  public:
   /// Builds a map from a cleaned dataset. `cell_px` merges that many zoom
   /// pixels per cell edge (2 -> ~2 m cells).
-  static ThroughputMap build(const data::Dataset& ds, std::int64_t cell_px = 2);
+  [[nodiscard]] static ThroughputMap build(const data::Dataset& ds,
+                                           std::int64_t cell_px = 2);
 
   const std::map<std::pair<std::int64_t, std::int64_t>, CellStats>& cells()
       const noexcept {
@@ -32,7 +33,8 @@ class ThroughputMap {
   }
 
   /// Stats of the cell containing pixel (px, py); nullptr if unmeasured.
-  const CellStats* lookup(std::int64_t px, std::int64_t py) const noexcept;
+  [[nodiscard]] const CellStats* lookup(std::int64_t px,
+                                        std::int64_t py) const noexcept;
 
   /// Fraction of measured cells whose mean exceeds `threshold_mbps`.
   double fraction_above(double threshold_mbps) const noexcept;

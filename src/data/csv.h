@@ -14,6 +14,6 @@ void write_csv(const Dataset& ds, const std::string& path);
 
 /// Reads a dataset written by write_csv. Throws std::runtime_error on I/O
 /// or parse failure.
-Dataset read_csv(const std::string& path);
+[[nodiscard]] Dataset read_csv(const std::string& path);
 
 }  // namespace lumos::data

@@ -1,5 +1,7 @@
 #include "data/features.h"
 
+#include "common/contracts.h"
+
 #include <cctype>
 #include <cmath>
 #include <cstdint>
@@ -93,6 +95,9 @@ template <typename GetRecord>
 void fill_row_impl(GetRecord&& rec_at, std::size_t i,
                    const FeatureSetSpec& spec, const FeatureConfig& cfg,
                    std::vector<double>& row) {
+  LUMOS_EXPECTS(!spec.C ||
+                    i + 1 >= static_cast<std::size_t>(cfg.throughput_lags),
+                "fill_row: C-group lags reach before the run start");
   row.clear();
   const SampleRecord& s = rec_at(i);
   if (spec.L) {

@@ -29,9 +29,9 @@ struct FeatureSetSpec {
   bool C = false;
 
   /// Parses "L", "L+M", "T+M+C", ... (case-insensitive, order-free).
-  static FeatureSetSpec parse(const std::string& spec);
+  [[nodiscard]] static FeatureSetSpec parse(const std::string& spec);
 
-  std::string name() const;
+  [[nodiscard]] std::string name() const;
 
   friend bool operator==(const FeatureSetSpec&, const FeatureSetSpec&) = default;
 };
@@ -49,7 +49,8 @@ struct FeatureConfig {
 };
 
 /// Classifies a throughput value into {0: low, 1: medium, 2: high}.
-int throughput_class(double mbps, const FeatureConfig& cfg) noexcept;
+[[nodiscard]] int throughput_class(double mbps,
+                                   const FeatureConfig& cfg) noexcept;
 
 inline constexpr int kNumThroughputClasses = 3;
 
@@ -68,11 +69,13 @@ struct BuiltFeatures {
 /// panel geometry are skipped too (paper: no T results for the Loop area).
 /// With cfg.max_gap_s > 0, windows that would straddle a timestamp
 /// discontinuity are skipped as well.
-BuiltFeatures build_features(const Dataset& ds, const FeatureSetSpec& spec,
+[[nodiscard]] BuiltFeatures build_features(
+    const Dataset& ds, const FeatureSetSpec& spec,
                              const FeatureConfig& cfg = {});
 
 /// Feature names only (stable order), without building the matrix.
-std::vector<std::string> feature_names(const FeatureSetSpec& spec,
+[[nodiscard]] std::vector<std::string> feature_names(
+    const FeatureSetSpec& spec,
                                        const FeatureConfig& cfg = {});
 
 /// Builds one feature row from a window of consecutive samples; the last
@@ -81,7 +84,7 @@ std::vector<std::string> feature_names(const FeatureSetSpec& spec,
 /// while `spec.T` is set, or (with cfg.max_gap_s > 0) the consumed history
 /// spans a timestamp discontinuity. Used for online prediction (Lumos5G
 /// facade).
-std::optional<std::vector<double>> feature_row_from_window(
+[[nodiscard]] std::optional<std::vector<double>> feature_row_from_window(
     std::span<const SampleRecord> window, const FeatureSetSpec& spec,
     const FeatureConfig& cfg = {});
 
@@ -99,7 +102,8 @@ struct BuiltSequences {
   std::vector<std::size_t> source_index;
 };
 
-BuiltSequences build_sequences(const Dataset& ds, const FeatureSetSpec& spec,
+[[nodiscard]] BuiltSequences build_sequences(
+    const Dataset& ds, const FeatureSetSpec& spec,
                                const FeatureConfig& cfg = {},
                                const SequenceConfig& seq = {});
 

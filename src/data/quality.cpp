@@ -1,5 +1,7 @@
 #include "data/quality.h"
 
+#include "common/contracts.h"
+
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -110,6 +112,8 @@ void repair_field(std::vector<SampleRecord*>& run, std::vector<bool>& alive,
       const double v0 = run[prev]->*field, v1 = run[next]->*field;
       const double w = t1 > t0 ? (t - t0) / (t1 - t0) : 0.0;
       run[i]->*field = v0 + (v1 - v0) * w;
+      LUMOS_ENSURES(std::isfinite(run[i]->*field),
+                    "repair_field: interpolation produced a non-finite value");
       ++sum.fields_interpolated;
     } else if (prev < n) {
       run[i]->*field = run[prev]->*field;

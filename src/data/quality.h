@@ -31,7 +31,7 @@ struct QualityConfig {
 /// Per-defect counts over a dataset. Runs are walked in stored order —
 /// validate() deliberately does NOT sort first, so out-of-order rows are
 /// visible to it.
-struct QualityReport {
+struct [[nodiscard]] QualityReport {
   std::size_t n_samples = 0;
   std::size_t n_runs = 0;
   std::size_t nan_fields = 0;  ///< NaN in non-geometry numeric fields
@@ -53,7 +53,8 @@ struct QualityReport {
   std::string describe() const;
 };
 
-QualityReport validate(const Dataset& ds, const QualityConfig& cfg = {});
+[[nodiscard]] QualityReport validate(const Dataset& ds,
+                                     const QualityConfig& cfg = {});
 
 /// What to do with a NaN field of a given class.
 enum class FieldRepair : std::uint8_t {
@@ -83,7 +84,7 @@ struct RepairPolicy {
   QualityConfig limits{};
 };
 
-struct RepairSummary {
+struct [[nodiscard]] RepairSummary {
   std::size_t rows_dropped = 0;
   std::size_t duplicates_dropped = 0;
   std::size_t rows_reordered = 0;

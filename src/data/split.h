@@ -16,15 +16,16 @@ struct SplitIndices {
 };
 
 /// Random split of [0, n) with `train_fraction` going to train.
-SplitIndices train_test_split(std::size_t n, double train_fraction,
+[[nodiscard]] SplitIndices train_test_split(std::size_t n,
+                                            double train_fraction,
                               std::uint64_t seed);
 
 /// Row subset of a feature matrix.
-ml::FeatureMatrix subset(const ml::FeatureMatrix& x,
+[[nodiscard]] ml::FeatureMatrix subset(const ml::FeatureMatrix& x,
                          std::span<const std::size_t> idx);
 
 template <typename T>
-std::vector<T> subset(const std::vector<T>& v,
+[[nodiscard]] std::vector<T> subset(const std::vector<T>& v,
                       std::span<const std::size_t> idx) {
   std::vector<T> out;
   out.reserve(idx.size());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/contracts.h"
+
 namespace lumos::geo {
 namespace {
 
@@ -41,6 +43,8 @@ LatLon unproject(const WorldCoord& wc) noexcept {
 }
 
 PixelCoord pixelize(const LatLon& ll, int zoom) noexcept {
+  LUMOS_EXPECTS(zoom >= 0 && zoom < 62,
+                "pixelize: zoom outside the Web-Mercator shift range");
   const WorldCoord wc = project(ll);
   const double scale = static_cast<double>(std::int64_t{1} << zoom);
   PixelCoord px;
@@ -51,6 +55,8 @@ PixelCoord pixelize(const LatLon& ll, int zoom) noexcept {
 }
 
 LatLon pixel_center(const PixelCoord& px) noexcept {
+  LUMOS_EXPECTS(px.zoom >= 0 && px.zoom < 62,
+                "pixel_center: zoom outside the Web-Mercator shift range");
   const double scale = static_cast<double>(std::int64_t{1} << px.zoom);
   WorldCoord wc;
   wc.x = (static_cast<double>(px.x) + 0.5) / scale;
@@ -85,6 +91,9 @@ double bearing_deg(const LatLon& a, const LatLon& b) noexcept {
                    std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
   double brg = rad2deg(std::atan2(y, x));
   if (brg < 0.0) brg += 360.0;
+  if (brg >= 360.0) brg = 0.0;  // atan2(-0.0, x) rounds to exactly 360
+  LUMOS_ENSURES(brg >= 0.0 && brg < 360.0,
+                "bearing_deg: result escaped [0, 360)");
   return brg;
 }
 

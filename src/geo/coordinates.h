@@ -51,31 +51,32 @@ struct PixelCoord {
 
 /// Projects a WGS-84 coordinate to Web-Mercator world coordinates.
 /// Latitude is clamped to the Mercator validity range (~±85.05113°).
-WorldCoord project(const LatLon& ll) noexcept;
+[[nodiscard]] WorldCoord project(const LatLon& ll) noexcept;
 
 /// Inverse Web-Mercator projection.
-LatLon unproject(const WorldCoord& wc) noexcept;
+[[nodiscard]] LatLon unproject(const WorldCoord& wc) noexcept;
 
 /// Quantizes a geographic coordinate to an integral pixel at `zoom`.
-PixelCoord pixelize(const LatLon& ll, int zoom = 17) noexcept;
+[[nodiscard]] PixelCoord pixelize(const LatLon& ll, int zoom = 17) noexcept;
 
 /// Center of a pixel as a geographic coordinate.
-LatLon pixel_center(const PixelCoord& px) noexcept;
+[[nodiscard]] LatLon pixel_center(const PixelCoord& px) noexcept;
 
 /// Ground meters covered by one pixel edge at `zoom` and latitude `lat_deg`.
 /// At zoom 17 near 45°N this is ~0.84 m; the paper quotes 0.99–1.19 m over
 /// its study areas.
-double meters_per_pixel(double lat_deg, int zoom) noexcept;
+[[nodiscard]] double meters_per_pixel(double lat_deg, int zoom) noexcept;
 
 /// Great-circle distance between two coordinates in meters (haversine).
-double haversine_m(const LatLon& a, const LatLon& b) noexcept;
+[[nodiscard]] double haversine_m(const LatLon& a, const LatLon& b) noexcept;
 
 /// Initial great-circle bearing from `a` to `b` in degrees clockwise from
 /// North, in [0, 360).
-double bearing_deg(const LatLon& a, const LatLon& b) noexcept;
+[[nodiscard]] double bearing_deg(const LatLon& a, const LatLon& b) noexcept;
 
 /// Destination point starting at `origin`, moving `distance_m` meters along
 /// `bearing` degrees (clockwise from North). Spherical Earth model.
-LatLon destination(const LatLon& origin, double bearing, double distance_m) noexcept;
+[[nodiscard]] LatLon destination(const LatLon& origin, double bearing,
+                                 double distance_m) noexcept;
 
 }  // namespace lumos::geo

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/contracts.h"
 #include "geo/local_frame.h"
 
 namespace lumos::geo {
@@ -36,12 +37,14 @@ struct GridCellHash {
 class Grid {
  public:
   /// `cell_m` is the cell edge length in meters (2.0 for the paper's maps).
-  explicit Grid(double cell_m) noexcept : cell_m_(cell_m) {}
+  explicit Grid(double cell_m) noexcept : cell_m_(cell_m) {
+    LUMOS_EXPECTS(cell_m > 0.0, "Grid: cell edge length must be positive");
+  }
 
-  GridCell cell_of(Vec2 p) const noexcept;
+  [[nodiscard]] GridCell cell_of(Vec2 p) const noexcept;
 
   /// Center of a cell in local meters.
-  Vec2 center_of(GridCell c) const noexcept;
+  [[nodiscard]] Vec2 center_of(GridCell c) const noexcept;
 
   double cell_size_m() const noexcept { return cell_m_; }
 

@@ -26,7 +26,7 @@ class RandomForestRegressor final : public Regressor {
   explicit RandomForestRegressor(ForestConfig cfg = {}) noexcept : cfg_(cfg) {}
 
   void fit(const FeatureMatrix& x, std::span<const double> y) override;
-  double predict(std::span<const double> row) const override;
+  [[nodiscard]] double predict(std::span<const double> row) const override;
 
   const ForestConfig& config() const noexcept { return cfg_; }
 
@@ -45,7 +45,7 @@ class RandomForestClassifier final : public Classifier {
 
   void fit(const FeatureMatrix& x, std::span<const int> y,
            int n_classes) override;
-  int predict(std::span<const double> row) const override;
+  [[nodiscard]] int predict(std::span<const double> row) const override;
 
  private:
   ForestConfig cfg_;

@@ -1,5 +1,7 @@
 #include "ml/gbdt.h"
 
+#include "common/contracts.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -37,6 +39,8 @@ std::vector<double> normalized_gains(const std::vector<GradientTree>& trees,
 }  // namespace
 
 void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
+  LUMOS_EXPECTS(y.size() == x.rows(),
+                "GbdtRegressor::fit: one target per row required");
   n_features_ = x.cols();
   trees_.clear();
   base_ = 0.0;
@@ -78,6 +82,8 @@ void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
 }
 
 double GbdtRegressor::predict(std::span<const double> row) const {
+  LUMOS_EXPECTS(trees_.empty() || row.size() == n_features_,
+                "GbdtRegressor::predict: row width differs from training");
   double s = base_;
   for (const auto& t : trees_) s += cfg_.learning_rate * t.predict(row);
   return s;
@@ -89,6 +95,9 @@ std::vector<double> GbdtRegressor::feature_importance() const {
 
 void GbdtClassifier::fit(const FeatureMatrix& x, std::span<const int> y,
                          int n_classes) {
+  LUMOS_EXPECTS(y.size() == x.rows(),
+                "GbdtClassifier::fit: one label per row required");
+  LUMOS_EXPECTS(n_classes >= 1, "GbdtClassifier::fit: n_classes must be >= 1");
   n_classes_ = n_classes;
   n_features_ = x.cols();
   trees_.clear();

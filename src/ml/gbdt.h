@@ -28,10 +28,10 @@ class GbdtRegressor final : public Regressor {
   explicit GbdtRegressor(GbdtConfig cfg = {}) noexcept : cfg_(cfg) {}
 
   void fit(const FeatureMatrix& x, std::span<const double> y) override;
-  double predict(std::span<const double> row) const override;
+  [[nodiscard]] double predict(std::span<const double> row) const override;
 
   /// Normalized total split gain per feature (sums to 1); Fig. 22.
-  std::vector<double> feature_importance() const;
+  [[nodiscard]] std::vector<double> feature_importance() const;
 
   const GbdtConfig& config() const noexcept { return cfg_; }
 
@@ -49,12 +49,13 @@ class GbdtClassifier final : public Classifier {
 
   void fit(const FeatureMatrix& x, std::span<const int> y,
            int n_classes) override;
-  int predict(std::span<const double> row) const override;
+  [[nodiscard]] int predict(std::span<const double> row) const override;
 
   /// Per-class raw scores (pre-softmax margins).
-  std::vector<double> decision_function(std::span<const double> row) const;
+  [[nodiscard]] std::vector<double> decision_function(
+      std::span<const double> row) const;
 
-  std::vector<double> feature_importance() const;
+  [[nodiscard]] std::vector<double> feature_importance() const;
 
  private:
   GbdtConfig cfg_;

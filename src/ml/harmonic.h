@@ -16,13 +16,14 @@ class HarmonicMeanPredictor {
   /// Predicts the next value from the trailing window of `history`.
   /// Non-positive observations are clamped to `floor` to keep the harmonic
   /// mean defined (5G throughput can legitimately hit 0 in dead zones).
-  double predict_next(std::span<const double> history,
+  [[nodiscard]] double predict_next(std::span<const double> history,
                       double floor = 1.0) const noexcept;
 
   /// One-step-ahead predictions over a whole trace: output[i] is the
   /// prediction for trace[i] given trace[0..i). The first element is
   /// seeded with trace[0] (no history available).
-  std::vector<double> predict_trace(std::span<const double> trace) const;
+  [[nodiscard]] std::vector<double> predict_trace(
+      std::span<const double> trace) const;
 
   std::size_t window() const noexcept { return window_; }
 

@@ -26,7 +26,7 @@ class KnnRegressor final : public Regressor {
   explicit KnnRegressor(KnnConfig cfg = {}) noexcept : cfg_(cfg) {}
 
   void fit(const FeatureMatrix& x, std::span<const double> y) override;
-  double predict(std::span<const double> row) const override;
+  [[nodiscard]] double predict(std::span<const double> row) const override;
 
  private:
   KnnConfig cfg_;
@@ -41,7 +41,7 @@ class KnnClassifier final : public Classifier {
 
   void fit(const FeatureMatrix& x, std::span<const int> y,
            int n_classes) override;
-  int predict(std::span<const double> row) const override;
+  [[nodiscard]] int predict(std::span<const double> row) const override;
 
  private:
   KnnConfig cfg_;

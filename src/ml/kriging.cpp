@@ -22,6 +22,8 @@ void OrdinaryKriging::fit(const FeatureMatrix& x, std::span<const double> y) {
     return;
   }
   if (x.cols() != 2) {
+    // Fit-time configuration validation, not the serving path.
+    // lumos-lint: allow(throw-on-query-path) fit() rejects a malformed design matrix
     throw std::invalid_argument(
         "OrdinaryKriging: expects exactly 2 location columns (group L)");
   }

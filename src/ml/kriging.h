@@ -28,7 +28,7 @@ class OrdinaryKriging final : public Regressor {
 
   /// `x` must have exactly 2 columns (location coordinates).
   void fit(const FeatureMatrix& x, std::span<const double> y) override;
-  double predict(std::span<const double> row) const override;
+  [[nodiscard]] double predict(std::span<const double> row) const override;
 
   double nugget() const noexcept { return nugget_; }
   double sill() const noexcept { return sill_; }

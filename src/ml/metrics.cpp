@@ -1,12 +1,14 @@
 #include "ml/metrics.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/contracts.h"
 
 namespace lumos::ml {
 
 double mae(std::span<const double> pred, std::span<const double> truth) {
-  assert(pred.size() == truth.size());
+  LUMOS_EXPECTS(pred.size() == truth.size(),
+                "mae: pred/truth length mismatch");
   if (pred.empty()) return 0.0;
   double s = 0.0;
   for (std::size_t i = 0; i < pred.size(); ++i) {
@@ -16,7 +18,8 @@ double mae(std::span<const double> pred, std::span<const double> truth) {
 }
 
 double rmse(std::span<const double> pred, std::span<const double> truth) {
-  assert(pred.size() == truth.size());
+  LUMOS_EXPECTS(pred.size() == truth.size(),
+                "rmse: pred/truth length mismatch");
   if (pred.empty()) return 0.0;
   double s = 0.0;
   for (std::size_t i = 0; i < pred.size(); ++i) {
@@ -28,7 +31,8 @@ double rmse(std::span<const double> pred, std::span<const double> truth) {
 
 ConfusionMatrix confusion_matrix(std::span<const int> pred,
                                  std::span<const int> truth, int n_classes) {
-  assert(pred.size() == truth.size());
+  LUMOS_EXPECTS(pred.size() == truth.size(),
+                "confusion_matrix: pred/truth length mismatch");
   ConfusionMatrix cm;
   cm.n_classes = n_classes;
   cm.counts.assign(
@@ -39,10 +43,10 @@ ConfusionMatrix confusion_matrix(std::span<const int> pred,
     // Out-of-range labels indicate a broken class encoding upstream; fail
     // loudly in debug builds instead of silently skewing every derived
     // metric (weighted F1 weights by per-class support).
-    assert(t >= 0 && t < n_classes &&
-           "confusion_matrix: truth label out of [0, n_classes)");
-    assert(p >= 0 && p < n_classes &&
-           "confusion_matrix: predicted label out of [0, n_classes)");
+    LUMOS_EXPECTS(t >= 0 && t < n_classes,
+                  "confusion_matrix: truth label out of [0, n_classes)");
+    LUMOS_EXPECTS(p >= 0 && p < n_classes,
+                  "confusion_matrix: predicted label out of [0, n_classes)");
     if (t < 0 || t >= n_classes || p < 0 || p >= n_classes) continue;
     ++cm.counts[static_cast<std::size_t>(t) *
                     static_cast<std::size_t>(n_classes) +

@@ -7,8 +7,10 @@
 
 namespace lumos::ml {
 
-double mae(std::span<const double> pred, std::span<const double> truth);
-double rmse(std::span<const double> pred, std::span<const double> truth);
+[[nodiscard]] double mae(std::span<const double> pred,
+                         std::span<const double> truth);
+[[nodiscard]] double rmse(std::span<const double> pred,
+                          std::span<const double> truth);
 
 /// n_classes x n_classes matrix; entry (t, p) counts samples of true class
 /// t predicted as p.
@@ -23,22 +25,22 @@ struct ConfusionMatrix {
   }
 };
 
-ConfusionMatrix confusion_matrix(std::span<const int> pred,
+[[nodiscard]] ConfusionMatrix confusion_matrix(std::span<const int> pred,
                                  std::span<const int> truth, int n_classes);
 
 /// Precision of class c: TP / (TP + FP). 0 when undefined.
-double precision_of(const ConfusionMatrix& cm, int c) noexcept;
+[[nodiscard]] double precision_of(const ConfusionMatrix& cm, int c) noexcept;
 
 /// Recall of class c: TP / (TP + FN). 0 when undefined. The paper tracks
 /// recall of the low-throughput class specifically (§6.1).
-double recall_of(const ConfusionMatrix& cm, int c) noexcept;
+[[nodiscard]] double recall_of(const ConfusionMatrix& cm, int c) noexcept;
 
 /// F1 of class c (harmonic mean of precision and recall).
-double f1_of(const ConfusionMatrix& cm, int c) noexcept;
+[[nodiscard]] double f1_of(const ConfusionMatrix& cm, int c) noexcept;
 
 /// Weighted-average F1: per-class F1 weighted by true-class support.
-double weighted_f1(const ConfusionMatrix& cm) noexcept;
+[[nodiscard]] double weighted_f1(const ConfusionMatrix& cm) noexcept;
 
-double accuracy(const ConfusionMatrix& cm) noexcept;
+[[nodiscard]] double accuracy(const ConfusionMatrix& cm) noexcept;
 
 }  // namespace lumos::ml

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/contracts.h"
 #include "common/parallel.h"
 
 namespace lumos::ml {
@@ -87,6 +88,10 @@ void GradientTree::fit(const std::vector<std::uint16_t>& codes,
                        std::span<const double> hess,
                        std::span<const std::size_t> indices,
                        const TreeConfig& cfg, Rng* rng) {
+  LUMOS_EXPECTS(grad.size() == hess.size(),
+                "GradientTree::fit: grad/hess length mismatch");
+  LUMOS_EXPECTS(codes.size() == grad.size() * mapper.n_features(),
+                "GradientTree::fit: codes size disagrees with mapper width");
   nodes_.clear();
   gains_.clear();
   const std::size_t d = mapper.n_features();

@@ -44,7 +44,7 @@ class BinMapper {
   double upper_edge(std::size_t f, std::uint16_t b) const noexcept;
 
   /// Encodes a full matrix to row-major bin codes.
-  std::vector<std::uint16_t> encode(const FeatureMatrix& x) const;
+  [[nodiscard]] std::vector<std::uint16_t> encode(const FeatureMatrix& x) const;
 
   std::size_t n_features() const noexcept { return edges_.size(); }
   int max_bins() const noexcept { return max_bins_; }
@@ -99,7 +99,7 @@ class GradientTree {
   /// Predicts from a raw feature row. A NaN value takes the split's
   /// learned default branch (Node::default_left) instead of the
   /// comparison fallthrough.
-  double predict(std::span<const double> row) const noexcept;
+  [[nodiscard]] double predict(std::span<const double> row) const noexcept;
 
   /// Predicts from one row of pre-binned codes (length = n_features of the
   /// mapper used at fit time). Reaches exactly the same leaf as predict()
@@ -107,7 +107,7 @@ class GradientTree {
   /// its code satisfies `code <= bin`, and the missing code routes along
   /// the same default branch as a raw NaN. Used by the boosting loop to
   /// avoid re-binning every training row each round.
-  double predict_binned(std::span<const std::uint16_t> row_codes)
+  [[nodiscard]] double predict_binned(std::span<const std::uint16_t> row_codes)
       const noexcept;
 
   /// Adds each split's gain to `gain_by_feature` (size = n_features).

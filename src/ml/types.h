@@ -37,6 +37,8 @@ class FeatureMatrix {
   void push_row(std::span<const double> row) {
     if (rows_ == 0 && cols_ == 0) cols_ = row.size();
     if (row.size() != cols_) {
+      // Matrix-assembly validation, not the serving path.
+      // lumos-lint: allow(throw-on-query-path) push_row rejects ragged rows
       throw std::invalid_argument("FeatureMatrix::push_row: width mismatch");
     }
     x_.insert(x_.end(), row.begin(), row.end());
@@ -54,11 +56,11 @@ class Regressor {
  public:
   virtual ~Regressor() = default;
   virtual void fit(const FeatureMatrix& x, std::span<const double> y) = 0;
-  virtual double predict(std::span<const double> row) const = 0;
+  [[nodiscard]] virtual double predict(std::span<const double> row) const = 0;
 
   /// Batch prediction, chunked across the global thread pool. Rows are
   /// independent so the output is identical for any LUMOS_THREADS setting.
-  std::vector<double> predict_all(const FeatureMatrix& x) const {
+  [[nodiscard]] std::vector<double> predict_all(const FeatureMatrix& x) const {
     std::vector<double> out(x.rows());
     lumos::parallel_for(0, x.rows(), 64,
                         [&](std::size_t b, std::size_t e) {
@@ -76,11 +78,11 @@ class Classifier {
   virtual ~Classifier() = default;
   virtual void fit(const FeatureMatrix& x, std::span<const int> y,
                    int n_classes) = 0;
-  virtual int predict(std::span<const double> row) const = 0;
+  [[nodiscard]] virtual int predict(std::span<const double> row) const = 0;
 
   /// Batch prediction, chunked across the global thread pool (see
   /// Regressor::predict_all).
-  std::vector<int> predict_all(const FeatureMatrix& x) const {
+  [[nodiscard]] std::vector<int> predict_all(const FeatureMatrix& x) const {
     std::vector<int> out(x.rows());
     lumos::parallel_for(0, x.rows(), 64,
                         [&](std::size_t b, std::size_t e) {

@@ -1,11 +1,12 @@
 #include "nn/loss.h"
 
-#include <cassert>
+#include "common/contracts.h"
 
 namespace lumos::nn {
 
 double mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad) {
-  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  LUMOS_EXPECTS(pred.rows() == target.rows() && pred.cols() == target.cols(),
+                "mse_loss: pred/target shape mismatch");
   grad.resize(pred.rows(), pred.cols());
   const auto n = static_cast<double>(pred.size());
   double loss = 0.0;
@@ -18,7 +19,8 @@ double mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad) {
 }
 
 double mse(const Matrix& pred, const Matrix& target) noexcept {
-  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  LUMOS_EXPECTS(pred.rows() == target.rows() && pred.cols() == target.cols(),
+                "mse: pred/target shape mismatch");
   const auto n = static_cast<double>(pred.size());
   double loss = 0.0;
   for (std::size_t i = 0; i < pred.size(); ++i) {

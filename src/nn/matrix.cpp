@@ -3,7 +3,7 @@
 namespace lumos::nn {
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.cols() == b.rows());
+  LUMOS_EXPECTS(a.cols() == b.rows(), "matmul: inner dimensions differ");
   out.resize(a.rows(), b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   // ikj loop order: streams through b and out rows contiguously.
@@ -19,7 +19,7 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
 }
 
 void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.cols() == b.cols());
+  LUMOS_EXPECTS(a.cols() == b.cols(), "matmul_bt: inner dimensions differ");
   out.resize(a.rows(), b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   for (std::size_t i = 0; i < m; ++i) {
@@ -34,7 +34,7 @@ void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
 }
 
 void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.rows() == b.rows());
+  LUMOS_EXPECTS(a.rows() == b.rows(), "matmul_at: inner dimensions differ");
   out.resize(a.cols(), b.cols());
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   for (std::size_t p = 0; p < k; ++p) {
@@ -50,14 +50,16 @@ void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
 }
 
 void add_inplace(Matrix& out, const Matrix& a) {
-  assert(out.rows() == a.rows() && out.cols() == a.cols());
+  LUMOS_EXPECTS(out.rows() == a.rows() && out.cols() == a.cols(),
+                "add_inplace: shape mismatch");
   double* o = out.data();
   const double* x = a.data();
   for (std::size_t i = 0; i < out.size(); ++i) o[i] += x[i];
 }
 
 void add_row_broadcast(Matrix& m, const Matrix& bias) {
-  assert(bias.rows() == 1 && bias.cols() == m.cols());
+  LUMOS_EXPECTS(bias.rows() == 1 && bias.cols() == m.cols(),
+                "add_row_broadcast: bias must be 1 x cols(m)");
   for (std::size_t r = 0; r < m.rows(); ++r) {
     double* row = m.data() + r * m.cols();
     const double* b = bias.data();
@@ -66,7 +68,8 @@ void add_row_broadcast(Matrix& m, const Matrix& bias) {
 }
 
 void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  LUMOS_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols(),
+                "hadamard: shape mismatch");
   out.resize(a.rows(), a.cols());
   const double* x = a.data();
   const double* y = b.data();

@@ -3,10 +3,11 @@
 // hundreds of columns — a hand-rolled kernel is plenty.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "common/contracts.h"
 
 namespace lumos::nn {
 
@@ -22,18 +23,20 @@ class Matrix {
   bool empty() const noexcept { return data_.empty(); }
 
   double& operator()(std::size_t r, std::size_t c) noexcept {
-    assert(r < rows_ && c < cols_);
+    LUMOS_EXPECTS(r < rows_ && c < cols_, "Matrix element index out of range");
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const noexcept {
-    assert(r < rows_ && c < cols_);
+    LUMOS_EXPECTS(r < rows_ && c < cols_, "Matrix element index out of range");
     return data_[r * cols_ + c];
   }
 
   std::span<double> row(std::size_t r) noexcept {
+    LUMOS_EXPECTS(r < rows_, "Matrix row index out of range");
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const double> row(std::size_t r) const noexcept {
+    LUMOS_EXPECTS(r < rows_, "Matrix row index out of range");
     return {data_.data() + r * cols_, cols_};
   }
 

@@ -1,7 +1,8 @@
 #include "nn/seq2seq.h"
 
+#include "common/contracts.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 #include <stdexcept>
 
@@ -61,7 +62,8 @@ void Seq2Seq::forward_batch(const std::vector<const SeqSample*>& batch,
   for (std::size_t t = 0; t < T; ++t) {
     for (std::size_t b = 0; b < B; ++b) {
       const auto& x = batch[b]->x;
-      assert(x.size() == T * D);
+      LUMOS_ASSERT(x.size() == T * D,
+                   "Seq2Seq: cached sample length disagrees with (T, D)");
       for (std::size_t d = 0; d < D; ++d) xt(b, d) = x[t * D + d];
     }
     const Matrix* input = &xt;

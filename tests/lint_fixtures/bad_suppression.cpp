@@ -1,0 +1,3 @@
+// Fixture: suppression naming a rule that does not exist.
+// lumos-lint: allow(definitely-not-a-rule)
+int x = 0;

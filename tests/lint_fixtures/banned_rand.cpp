@@ -1,0 +1,2 @@
+// Fixture: C rand() in library code.
+int noise() { return rand() % 7; }

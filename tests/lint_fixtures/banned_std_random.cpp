@@ -1,0 +1,6 @@
+// Fixture: std:: random engine outside common/rng.h.
+#include <random>
+double draw() {
+  std::mt19937 gen(42);
+  return 0.0;
+}

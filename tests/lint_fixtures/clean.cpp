@@ -1,0 +1,3 @@
+// Fixture: violation-free translation unit (control).
+#include "ml/tree.h"
+int add(int a, int b) { return a + b; }

@@ -1,0 +1,3 @@
+// Fixture: ml/ reaching into sim/ (layering break).
+#include "sim/faults.h"
+#include "ml/tree.h"

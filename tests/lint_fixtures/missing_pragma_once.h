@@ -1,0 +1,2 @@
+// Fixture: header without #pragma once.
+inline int one() { return 1; }

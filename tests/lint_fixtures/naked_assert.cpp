@@ -1,0 +1,3 @@
+// Fixture: naked assert instead of LUMOS_ASSERT.
+#include <cassert>
+void check(int n) { assert(n > 0); }

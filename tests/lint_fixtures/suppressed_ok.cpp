@@ -1,0 +1,5 @@
+// Fixture: a real violation silenced by a valid directive,
+// exercising both same-line and line-above placement.
+int noise() { return rand() % 7; }  // lumos-lint: allow(banned-rand) fixture
+// lumos-lint: allow(banned-rand) fixture, directive-above form
+int more_noise() { return rand() % 7; }

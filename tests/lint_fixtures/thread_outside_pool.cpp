@@ -1,0 +1,6 @@
+// Fixture: raw std::thread bypassing the pool.
+#include <thread>
+void spawn() {
+  std::thread t([] {});
+  t.join();
+}

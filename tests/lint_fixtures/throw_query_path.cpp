@@ -1,0 +1,4 @@
+// Fixture: throw on the core/ml query path.
+void answer(int x) {
+  if (x < 0) throw x;
+}

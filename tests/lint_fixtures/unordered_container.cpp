@@ -1,0 +1,3 @@
+// Fixture: unordered container in library code.
+#include <unordered_map>
+std::unordered_map<int, double> cache;

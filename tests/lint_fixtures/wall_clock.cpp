@@ -1,0 +1,5 @@
+// Fixture: wall-clock read in library code.
+#include <chrono>
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -182,8 +182,8 @@ TEST(FeatureSpec, ParseAndName) {
   EXPECT_EQ(FeatureSetSpec::parse("l+m").name(), "L+M");
   EXPECT_EQ(FeatureSetSpec::parse("T+M+C").name(), "T+M+C");
   EXPECT_EQ(FeatureSetSpec::parse("C+L").name(), "L+C");
-  EXPECT_THROW(FeatureSetSpec::parse(""), std::invalid_argument);
-  EXPECT_THROW(FeatureSetSpec::parse("X"), std::invalid_argument);
+  EXPECT_THROW((void)FeatureSetSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)FeatureSetSpec::parse("X"), std::invalid_argument);
 }
 
 TEST(FeatureSpec, NamesMatchTable6) {
@@ -473,7 +473,7 @@ TEST(Csv, TrailingCommaIsAnExtraEmptyField) {
   // The trailing empty field must be counted (28 fields), not silently
   // dropped, and the error must say what was seen vs expected.
   try {
-    read_csv(path);
+    (void)read_csv(path);
     FAIL() << "read_csv accepted a 28-field row";
   } catch (const std::runtime_error& e) {
     const std::string msg = e.what();

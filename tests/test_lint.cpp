@@ -1,0 +1,143 @@
+// Tests for tools/lumos_lint: every rule in the table must fire on its
+// seeded fixture snippet (tests/lint_fixtures/), suppression directives
+// must silence findings, and the real tree must scan clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+using lumos::lint::Finding;
+using lumos::lint::default_rules;
+using lumos::lint::scan_file;
+using lumos::lint::scan_tree;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(LUMOS_LINT_FIXTURES_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Scans fixture `name` under the pretend repo path `as_path`.
+std::vector<Finding> scan_fixture(const std::string& name,
+                                  const std::string& as_path) {
+  return scan_file(as_path, read_fixture(name), default_rules());
+}
+
+bool fires(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+struct FixtureCase {
+  const char* fixture;
+  const char* as_path;  ///< pretend location; picks up dir-scoped rules
+  const char* rule;
+};
+
+TEST(LumosLint, EveryRuleFiresOnItsFixture) {
+  const FixtureCase cases[] = {
+      {"banned_rand.cpp", "src/ml/banned_rand.cpp", "banned-rand"},
+      {"banned_std_random.cpp", "src/sim/banned_std_random.cpp",
+       "banned-std-random"},
+      {"unordered_container.cpp", "src/core/unordered_container.cpp",
+       "unordered-container"},
+      {"wall_clock.cpp", "src/data/wall_clock.cpp", "wall-clock"},
+      {"thread_outside_pool.cpp", "src/ml/thread_outside_pool.cpp",
+       "thread-outside-pool"},
+      {"throw_query_path.cpp", "src/core/throw_query_path.cpp",
+       "throw-on-query-path"},
+      {"naked_assert.cpp", "src/nn/naked_assert.cpp", "naked-assert"},
+      {"layering.cpp", "src/ml/layering.cpp", "layering"},
+      {"missing_pragma_once.h", "src/geo/missing_pragma_once.h",
+       "pragma-once"},
+      {"bad_suppression.cpp", "src/ml/bad_suppression.cpp",
+       "bad-suppression"},
+  };
+  for (const auto& c : cases) {
+    const auto findings = scan_fixture(c.fixture, c.as_path);
+    EXPECT_TRUE(fires(findings, c.rule))
+        << c.fixture << " did not trigger rule " << c.rule;
+  }
+}
+
+TEST(LumosLint, FindingCarriesLocationAndExcerpt) {
+  const auto findings =
+      scan_fixture("banned_rand.cpp", "src/ml/banned_rand.cpp");
+  ASSERT_TRUE(fires(findings, "banned-rand"));
+  const auto it =
+      std::find_if(findings.begin(), findings.end(),
+                   [](const Finding& f) { return f.rule == "banned-rand"; });
+  EXPECT_EQ(it->path, "src/ml/banned_rand.cpp");
+  EXPECT_EQ(it->line, 2u);
+  EXPECT_NE(it->excerpt.find("rand()"), std::string::npos);
+}
+
+TEST(LumosLint, SuppressionSilencesBothPlacements) {
+  const auto findings =
+      scan_fixture("suppressed_ok.cpp", "src/ml/suppressed_ok.cpp");
+  EXPECT_TRUE(findings.empty())
+      << "unexpected finding: " << lumos::lint::format(findings.front());
+}
+
+TEST(LumosLint, CleanFixtureProducesNoFindings) {
+  const auto findings = scan_fixture("clean.cpp", "src/ml/clean.cpp");
+  EXPECT_TRUE(findings.empty())
+      << "unexpected finding: " << lumos::lint::format(findings.front());
+}
+
+TEST(LumosLint, DirScopedRulesIgnoreBenchAndTests) {
+  // The same wall-clock read is a finding in src/ but fine in bench/
+  // (timing harnesses legitimately read clocks).
+  EXPECT_TRUE(fires(scan_fixture("wall_clock.cpp", "src/data/wall_clock.cpp"),
+                    "wall-clock"));
+  EXPECT_FALSE(fires(
+      scan_fixture("wall_clock.cpp", "bench/wall_clock.cpp"), "wall-clock"));
+  // throw is an error-discipline violation only on the core/ml query path.
+  EXPECT_FALSE(fires(
+      scan_fixture("throw_query_path.cpp", "src/data/throw_query_path.cpp"),
+      "throw-on-query-path"));
+}
+
+TEST(LumosLint, ExemptPathsAreExempt) {
+  // The blessed RNG header may reference std:: engines (it documents and
+  // replaces them); everywhere else the rule fires.
+  const std::string body = read_fixture("banned_std_random.cpp");
+  EXPECT_FALSE(fires(scan_file("src/common/rng.h", body, default_rules()),
+                     "banned-std-random"));
+  EXPECT_TRUE(fires(scan_file("src/stats/rng2.h", body, default_rules()),
+                    "banned-std-random"));
+}
+
+TEST(LumosLint, CommentsAndStringsDoNotFire) {
+  const std::string body =
+      "// rand() in a comment\n"
+      "/* std::unordered_map<int,int> in a block comment */\n"
+      "const char* s = \"std::mt19937 in a string\";\n";
+  const auto findings = scan_file("src/ml/ok.cpp", body, default_rules());
+  EXPECT_TRUE(findings.empty())
+      << "unexpected finding: " << lumos::lint::format(findings.front());
+}
+
+TEST(LumosLint, RuleTableHasAtLeastEightRules) {
+  EXPECT_GE(default_rules().size(), 8u);
+}
+
+TEST(LumosLint, RealTreeScansClean) {
+  const auto findings = scan_tree(LUMOS_SOURCE_ROOT, default_rules());
+  for (const auto& f : findings) {
+    ADD_FAILURE() << lumos::lint::format(f);
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace

@@ -1,0 +1,455 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace lumos::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table. Patterns run against comment- and string-stripped lines, so a
+// mention in a comment or a string literal never fires.
+// ---------------------------------------------------------------------------
+
+/// Include-layering contract between the src/ subsystems. A quoted include
+/// from a file under `dir` must start with one of `allowed`; everything
+/// else is a layering break (e.g. ml/ reaching into sim/). tests/, bench/,
+/// tools/ and examples/ may include anything.
+struct Layer {
+  const char* dir;
+  std::vector<const char*> allowed;
+};
+
+const std::vector<Layer>& layer_table() {
+  static const std::vector<Layer> kLayers = {
+      {"src/common/", {"common/"}},
+      {"src/geo/", {"common/", "geo/"}},
+      {"src/stats/", {"common/", "stats/"}},
+      {"src/nn/", {"common/", "nn/"}},
+      {"src/ml/", {"common/", "ml/"}},
+      {"src/data/", {"common/", "geo/", "ml/", "nn/", "data/"}},
+      {"src/sim/", {"common/", "geo/", "data/", "sim/"}},
+      {"src/core/",
+       {"common/", "geo/", "stats/", "data/", "ml/", "nn/", "core/"}},
+  };
+  return kLayers;
+}
+
+std::vector<Rule> make_rules() {
+  std::vector<Rule> r;
+
+  r.push_back({"banned-rand",
+               "C rand()/srand()/random_shuffle are nondeterministic across "
+               "platforms; use lumos::Rng (common/rng.h)",
+               RuleKind::kPattern,
+               R"((^|[^_[:alnum:]])(std::)?(rand|srand|rand_r|random_shuffle)[[:space:]]*\()",
+               {},
+               {}});
+
+  r.push_back({"banned-std-random",
+               "std::random engines/distributions have unspecified streams; "
+               "all randomness flows through lumos::Rng (common/rng.h)",
+               RuleKind::kPattern,
+               R"(std::(random_device|mt19937(_64)?|minstd_rand0?|default_random_engine|knuth_b|ranlux24|ranlux48|(uniform_int|uniform_real|normal|lognormal|bernoulli|poisson|exponential|discrete)_distribution)([^_[:alnum:]]|$))",
+               {},
+               {"src/common/rng.h"}});
+
+  r.push_back({"unordered-container",
+               "std::unordered_* iteration order is implementation-defined; "
+               "library code must use ordered containers so every "
+               "reduction/serialization is reproducible",
+               RuleKind::kPattern,
+               R"(std::unordered_(map|set|multimap|multiset)([^_[:alnum:]]|$))",
+               {"src/"},
+               {}});
+
+  r.push_back({"wall-clock",
+               "library results must not depend on wall time; clocks belong "
+               "in bench/ and tests/ only",
+               RuleKind::kPattern,
+               R"((system_clock|steady_clock|high_resolution_clock)::now[[:space:]]*\(|(^|[^_[:alnum:]])(time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)?[[:space:]]*\)|gettimeofday[[:space:]]*\(|clock_gettime[[:space:]]*\())",
+               {"src/"},
+               {}});
+
+  r.push_back({"thread-outside-pool",
+               "raw std::thread/std::async bypasses the deterministic "
+               "fork-join pool (common/parallel.h) and voids the "
+               "bit-identical-at-any-thread-count guarantee",
+               RuleKind::kPattern,
+               R"(std::(thread|jthread|async)([^_[:alnum:]]|$))",
+               {"src/"},
+               {"src/common/parallel."}});
+
+  r.push_back({"throw-on-query-path",
+               "the serving path reports failures as Expected<T> / "
+               "lumos::Error (common/error.h); throwing would tear down a "
+               "query instead of degrading",
+               RuleKind::kPattern,
+               R"((^|[^_[:alnum:]])throw([^_[:alnum:]]|$))",
+               {"src/core/", "src/ml/"},
+               {}});
+
+  r.push_back({"naked-assert",
+               "use LUMOS_ASSERT / LUMOS_EXPECTS / LUMOS_ENSURES "
+               "(common/contracts.h): uniform message + file:line and a "
+               "single NDEBUG story",
+               RuleKind::kPattern,
+               R"(<cassert>|<assert\.h>|(^|[^_[:alnum:]])assert[[:space:]]*\()",
+               {"src/"},
+               {}});
+
+  r.push_back({"layering",
+               "include crosses the subsystem layering contract (see the "
+               "layer table in tools/lumos_lint/lint.cpp)",
+               RuleKind::kLayering,
+               "",
+               {"src/"},
+               {}});
+
+  r.push_back({"pragma-once",
+               "every header uses #pragma once (the repo's include-guard "
+               "convention)",
+               RuleKind::kPragmaOnce,
+               "",
+               {},
+               {},
+               /*headers_only=*/true});
+
+  // `bad-suppression` is issued by the suppression parser itself; it is in
+  // the table so --list-rules documents it and allow(bad-suppression) is
+  // a valid (if perverse) directive.
+  r.push_back({"bad-suppression",
+               "a lumos-lint suppression names a rule id that does not "
+               "exist; fix or delete the stale directive",
+               RuleKind::kPattern,
+               "",
+               {},
+               {}});
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Source stripping: produce two same-shaped views of the text (newlines
+// preserved), one with comments+strings blanked (for pattern rules), one
+// with everything BUT comments blanked (for suppression directives).
+// ---------------------------------------------------------------------------
+
+struct StrippedSource {
+  std::string code;      ///< comments and string/char literals -> spaces
+  std::string comments;  ///< everything except comment text -> spaces
+};
+
+StrippedSource strip(const std::string& text) {
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  StrippedSource out;
+  out.code.assign(text.size(), ' ');
+  out.comments.assign(text.size(), ' ');
+  St st = St::kCode;
+  std::string raw_delim;  // raw-string delimiter incl. closing paren
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {  // keep line structure in both views
+      out.code[i] = '\n';
+      out.comments[i] = '\n';
+      if (st == St::kLineComment) st = St::kCode;
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          ++i;  // don't let "/*/" open and close at once
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          const std::size_t open = text.find('(', i + 2);
+          if (open != std::string::npos) {
+            raw_delim = ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+            st = St::kRaw;
+            i = open;  // chars up to '(' dropped from both views
+          } else {
+            out.code[i] = c;
+          }
+        } else if (c == '"') {
+          st = St::kString;
+        } else if (c == '\'') {
+          st = St::kChar;
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      case St::kLineComment:
+        out.comments[i] = c;
+        break;
+      case St::kBlockComment:
+        out.comments[i] = c;
+        if (c == '*' && next == '/') {
+          out.comments[i + 1] = '/';
+          ++i;
+          st = St::kCode;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char (stays blank)
+        } else if (c == '"') {
+          st = St::kCode;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        }
+        break;
+      case St::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool starts_with_any(const std::string& path,
+                     const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const std::string& p) {
+                       return path.compare(0, p.size(), p) == 0;
+                     });
+}
+
+bool is_header(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+bool rule_applies(const Rule& rule, const std::string& path) {
+  if (rule.headers_only && !is_header(path)) return false;
+  if (!rule.dirs.empty() && !starts_with_any(path, rule.dirs)) return false;
+  return !starts_with_any(path, rule.exempt);
+}
+
+/// Per-line and whole-file suppressions harvested from comment text.
+struct Suppressions {
+  /// (line, rule-id) pairs; a directive covers its own line and the next.
+  std::set<std::pair<std::size_t, std::string>> lines;
+  std::set<std::string> whole_file;
+  std::vector<Finding> bad;  ///< directives naming unknown rules
+};
+
+Suppressions parse_suppressions(const std::string& path,
+                                const std::vector<std::string>& comment_lines,
+                                const std::vector<Rule>& rules) {
+  static const std::regex kDirective(
+      R"(lumos-lint:[[:space:]]*allow(-file)?\(([A-Za-z0-9_-]+)\))");
+  Suppressions sup;
+  for (std::size_t i = 0; i < comment_lines.size(); ++i) {
+    auto begin = std::sregex_iterator(comment_lines[i].begin(),
+                                      comment_lines[i].end(), kDirective);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const bool file_wide = (*it)[1].matched;
+      const std::string id = (*it)[2].str();
+      const bool known =
+          std::any_of(rules.begin(), rules.end(),
+                      [&](const Rule& r) { return r.id == id; });
+      if (!known) {
+        sup.bad.push_back({path, i + 1, "bad-suppression",
+                           trim(comment_lines[i]),
+                           "suppression names unknown rule '" + id + "'"});
+        continue;
+      }
+      if (file_wide) {
+        sup.whole_file.insert(id);
+      } else {
+        sup.lines.emplace(i + 1, id);      // its own line
+        sup.lines.emplace(i + 2, id);      // and the line below
+      }
+    }
+  }
+  return sup;
+}
+
+bool suppressed(const Suppressions& sup, std::size_t line,
+                const std::string& rule_id) {
+  return sup.whole_file.count(rule_id) > 0 ||
+         sup.lines.count({line, rule_id}) > 0;
+}
+
+void check_layering(const std::string& path,
+                    const std::vector<std::string>& code_lines,
+                    const std::vector<std::string>& raw_lines,
+                    const Rule& rule, const Suppressions& sup,
+                    std::vector<Finding>& out) {
+  const Layer* layer = nullptr;
+  for (const Layer& l : layer_table()) {
+    if (path.compare(0, std::string(l.dir).size(), l.dir) == 0) {
+      layer = &l;
+      break;
+    }
+  }
+  if (layer == nullptr) return;  // outside the layered area
+  // Matched against the code view, where the quoted path is blanked — so
+  // only `#include` itself can be required here; the path comes from the
+  // raw line below.
+  static const std::regex kInclude(
+      R"rx(^[[:space:]]*#[[:space:]]*include([^_[:alnum:]]|$))rx");
+  static const std::regex kIncludePath(
+      R"rx(^[[:space:]]*#[[:space:]]*include[[:space:]]*"([^"]+)")rx");
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    // The directive must survive comment-stripping (a commented-out
+    // include is not a dependency), but the quoted path itself is blanked
+    // in the code view, so recover it from the raw line.
+    if (!std::regex_search(code_lines[i], kInclude)) continue;
+    std::smatch m;
+    if (i >= raw_lines.size() || !std::regex_search(raw_lines[i], m,
+                                                    kIncludePath)) {
+      continue;
+    }
+    const std::string inc = m[1].str();
+    const bool ok = std::any_of(
+        layer->allowed.begin(), layer->allowed.end(), [&](const char* p) {
+          return inc.compare(0, std::string(p).size(), p) == 0;
+        });
+    if (!ok && !suppressed(sup, i + 1, rule.id)) {
+      out.push_back({path, i + 1, rule.id, trim(raw_lines[i]),
+                     "'" + inc + "' is not an allowed dependency of " +
+                         layer->dir});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Rule>& default_rules() {
+  static const std::vector<Rule> kRules = make_rules();
+  return kRules;
+}
+
+std::vector<Finding> scan_file(const std::string& path,
+                               const std::string& text,
+                               const std::vector<Rule>& rules) {
+  const StrippedSource views = strip(text);
+  const auto code_lines = split_lines(views.code);
+  const auto comment_lines = split_lines(views.comments);
+  const auto raw_lines = split_lines(text);
+
+  Suppressions sup = parse_suppressions(path, comment_lines, rules);
+  std::vector<Finding> out;
+  for (Finding& f : sup.bad) {
+    if (!suppressed(sup, f.line, "bad-suppression")) {
+      out.push_back(std::move(f));
+    }
+  }
+
+  for (const Rule& rule : rules) {
+    if (!rule_applies(rule, path)) continue;
+    switch (rule.kind) {
+      case RuleKind::kPattern: {
+        if (rule.pattern.empty()) break;  // parser-issued rules
+        const std::regex re(rule.pattern);
+        for (std::size_t i = 0; i < code_lines.size(); ++i) {
+          if (std::regex_search(code_lines[i], re) &&
+              !suppressed(sup, i + 1, rule.id)) {
+            out.push_back({path, i + 1, rule.id,
+                           trim(i < raw_lines.size() ? raw_lines[i] : ""),
+                           rule.summary});
+          }
+        }
+        break;
+      }
+      case RuleKind::kLayering:
+        check_layering(path, code_lines, raw_lines, rule, sup, out);
+        break;
+      case RuleKind::kPragmaOnce: {
+        const bool found = std::any_of(
+            code_lines.begin(), code_lines.end(), [](const std::string& l) {
+              static const std::regex kPragma(
+                  R"(^[[:space:]]*#[[:space:]]*pragma[[:space:]]+once)");
+              return std::regex_search(l, kPragma);
+            });
+        if (!found && !suppressed(sup, 1, rule.id)) {
+          out.push_back({path, 1, rule.id, "", rule.summary});
+        }
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Finding> scan_tree(const std::filesystem::path& root,
+                               const std::vector<Rule>& rules) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const char* top : {"src", "tests", "bench", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      if (rel.find("lint_fixtures/") != std::string::npos) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cpp") files.push_back(rel);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> out;
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto found = scan_file(rel, text.str(), rules);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return out;
+}
+
+std::string format(const Finding& f) {
+  std::string s = f.path + ":" + std::to_string(f.line) + ": [" + f.rule +
+                  "] " + f.excerpt;
+  if (!f.message.empty()) s += "\n    — " + f.message;
+  return s;
+}
+
+}  // namespace lumos::lint

@@ -1,0 +1,71 @@
+// lumos_lint — the repo's own static checker for the invariants the test
+// suite cannot see locally: sources of nondeterminism that would break the
+// bit-identical-at-any-thread-count guarantee, error-discipline violations
+// on the query path, and include-layering breaks between subsystems.
+//
+// The checker is deliberately token/regex-level (no libclang): it scans
+// comment- and string-stripped source lines against a checked-in rule
+// table, so it builds and runs in the offline CI container in milliseconds
+// and is registered as an ordinary ctest (`ctest -L lint`).
+//
+// Suppressing a rule at a specific site:
+//   code();  // lumos-lint: allow(<rule-id>) reason for the exemption
+// The directive covers its own line and the line directly below it, so it
+// can ride on the offending line or sit on a comment line above. A
+// file-wide exemption is spelled `lumos-lint: allow-file(<rule-id>)`.
+// Referencing an unknown rule id is itself a finding (`bad-suppression`),
+// so stale suppressions cannot rot silently.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace lumos::lint {
+
+enum class RuleKind {
+  kPattern,     ///< regex over stripped source lines
+  kLayering,    ///< quoted-include prefixes vs. the layer table
+  kPragmaOnce,  ///< headers must contain #pragma once
+};
+
+struct Rule {
+  std::string id;       ///< stable kebab-case name used in suppressions
+  std::string summary;  ///< one-line rationale shown with findings
+  RuleKind kind = RuleKind::kPattern;
+  std::string pattern;  ///< ECMAScript regex source (kPattern only)
+  /// Repo-relative path prefixes the rule applies to; empty = every
+  /// scanned file.
+  std::vector<std::string> dirs;
+  /// Path prefixes exempt from the rule (e.g. the one blessed RNG header).
+  std::vector<std::string> exempt;
+  bool headers_only = false;
+};
+
+struct Finding {
+  std::string path;  ///< repo-relative, forward slashes
+  std::size_t line = 0;
+  std::string rule;
+  std::string excerpt;  ///< offending source line, whitespace-trimmed
+  std::string message;
+};
+
+/// The checked-in rule table (see lint.cpp for the layer table it uses).
+const std::vector<Rule>& default_rules();
+
+/// Scans one file's text. `path` is the repo-relative path used for rule
+/// scoping and reporting; it does not have to exist on disk.
+std::vector<Finding> scan_file(const std::string& path,
+                               const std::string& text,
+                               const std::vector<Rule>& rules);
+
+/// Recursively scans src/, tests/, bench/ and tools/ under `root`
+/// (skipping tests/lint_fixtures/, whose snippets violate rules on
+/// purpose). Findings are sorted by path, then line.
+std::vector<Finding> scan_tree(const std::filesystem::path& root,
+                               const std::vector<Rule>& rules);
+
+/// "path:line: [rule] excerpt — summary"
+std::string format(const Finding& f);
+
+}  // namespace lumos::lint

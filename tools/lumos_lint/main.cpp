@@ -1,0 +1,44 @@
+// lumos_lint CLI. Exit status 0 = clean, 1 = findings, 2 = usage error.
+//
+//   lumos_lint --root <repo>     scan src/ tests/ bench/ tools/ under repo
+//   lumos_lint --list-rules      print the rule table
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      list_rules = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: lumos_lint [--root DIR] [--list-rules]\n");
+      return 2;
+    }
+  }
+
+  const auto& rules = lumos::lint::default_rules();
+  if (list_rules) {
+    for (const auto& r : rules) {
+      std::printf("%-22s %s\n", r.id.c_str(), r.summary.c_str());
+    }
+    return 0;
+  }
+
+  const auto findings = lumos::lint::scan_tree(root, rules);
+  for (const auto& f : findings) {
+    std::printf("%s\n", lumos::lint::format(f).c_str());
+  }
+  if (findings.empty()) {
+    std::printf("lumos_lint: clean (%zu rules)\n", rules.size());
+    return 0;
+  }
+  std::printf("lumos_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
