@@ -28,7 +28,10 @@ int main() {
       const double x = res.throughput[0][static_cast<std::size_t>(t)];
       if (!std::isnan(x)) v.push_back(x);
     }
-    const double med = stats::median(v);
+    // stats::median on an empty sample is NaN by contract; an all-NaN
+    // minute (UE never scheduled) should print as 0 rather than poison
+    // the share-ratio row below.
+    const double med = v.empty() ? 0.0 : stats::median(v);
     minute_medians.push_back(med);
     std::printf("%-8d %8d %9.0f %10.0f  %s\n", m + 1,
                 res.active_count[static_cast<std::size_t>(m * 60 + 30)], med,
@@ -46,7 +49,8 @@ int main() {
       const double x = res.throughput[u][static_cast<std::size_t>(t)];
       if (!std::isnan(x)) v.push_back(x);
     }
-    std::printf("  UE%zu: %.0f Mbps\n", u + 1, stats::median(v));
+    std::printf("  UE%zu: %.0f Mbps\n", u + 1,
+                v.empty() ? 0.0 : stats::median(v));
   }
 
   std::printf(

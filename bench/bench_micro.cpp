@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "ml/gbdt.h"
 #include "ml/knn.h"
 #include "nn/seq2seq.h"
+#include "serve/flat_model.h"
+#include "serve/predictor.h"
 #include "sim/areas.h"
 #include "sim/connection.h"
 
@@ -268,6 +271,90 @@ void BM_GdbtPredictNaNRouting(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GdbtPredictNaNRouting)->Arg(0)->Arg(1);
+
+// ---- serving runtime: flattened layout vs pointer layout ----
+//
+// The same fitted GBDT scored three ways over the full feature matrix:
+//   Arg(0)  pointer layout, per-row predict() (the seed path)
+//   Arg(1)  flattened node-array, per-row predict()
+//   Arg(2)  flattened node-array, predict_batch() over the thread pool
+// All three are bit-identical (tests/test_serve.cpp); only the walk
+// differs. items/sec is rows scored per second, so the flat/pointer
+// ratio reads directly off the report.
+
+void BM_FlatVsPointerPredict(benchmark::State& state) {
+  static const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M+C"), {});
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = 300;
+  static ml::GbdtRegressor* model = nullptr;
+  if (model == nullptr) {
+    model = new ml::GbdtRegressor(cfg);
+    model->fit(built.x, built.y_reg);
+  }
+  static const serve::FlatForest flat = serve::FlatForest::flatten(*model);
+  const long mode = state.range(0);
+  for (auto _ : state) {
+    if (mode == 0) {
+      for (std::size_t r = 0; r < built.x.rows(); ++r) {
+        benchmark::DoNotOptimize(model->predict(built.x.row(r)));
+      }
+    } else if (mode == 1) {
+      for (std::size_t r = 0; r < built.x.rows(); ++r) {
+        benchmark::DoNotOptimize(flat.predict(built.x.row(r)));
+      }
+    } else {
+      benchmark::DoNotOptimize(flat.predict_batch(built.x));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(built.x.rows()));
+}
+BENCHMARK(BM_FlatVsPointerPredict)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end serving throughput (preds/sec): a compiled Predictor answers
+// a fleet of per-UE sessions, batched over the pool (Arg = pool size).
+void BM_ServePredictBatch(benchmark::State& state) {
+  static const core::Lumos5G* facade = [] {
+    core::Lumos5GConfig cfg;
+    cfg.feature_spec = data::FeatureSetSpec::parse("T+M+C");
+    cfg.gbdt.n_estimators = 60;
+    auto* f = new core::Lumos5G(cfg);
+    if (!f->train(airport_ds())) std::abort();
+    return f;
+  }();
+  static const serve::Predictor* predictor = [] {
+    auto compiled = serve::Predictor::compile(*facade);
+    if (!compiled) std::abort();
+    return new serve::Predictor(std::move(*compiled));
+  }();
+  static const std::vector<serve::Session> sessions = [] {
+    std::vector<serve::Session> out;
+    const auto& ds = airport_ds();
+    const auto runs = ds.runs();
+    for (const auto& run : runs) {
+      for (std::size_t start = 10; start + 8 < run.size() && out.size() < 256;
+           start += 9) {
+        serve::Session s;
+        for (std::size_t i = start; i < start + 8; ++i) s.observe(ds[run[i]]);
+        out.push_back(std::move(s));
+      }
+    }
+    return out;
+  }();
+  ThreadPool::global().set_threads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor->predict_batch(sessions));
+  }
+  ThreadPool::global().set_threads(0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sessions.size()));
+}
+BENCHMARK(BM_ServePredictBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_ThroughputMapBuild(benchmark::State& state) {
   const auto& ds = airport_ds();

@@ -1,0 +1,109 @@
+// Serving quickstart: the paper's consumer story (§2.3, Fig. 4) end to
+// end — train a per-area predictor once, save it as a binary artifact,
+// reload it (as a freshly deployed device would), compile it into the
+// flattened serving runtime, and answer a fleet of per-UE sessions.
+//
+//   1. Train core::Lumos5G with the T+M+C fallback chain on a simulated
+//      airport campaign.
+//   2. serve::save_model -> one versioned .l5gm artifact on disk.
+//   3. serve::load_lumos5g + serve::Predictor::compile -> flattened
+//      serving snapshot (16-byte nodes, iterative traversal).
+//   4. Feed per-UE Sessions and predict_batch over the thread pool,
+//      verifying the reloaded runtime matches the trainer bit for bit.
+//
+// Build & run:  ./examples/serve_quickstart
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/lumos5g.h"
+#include "serve/model_io.h"
+#include "serve/predictor.h"
+#include "sim/areas.h"
+
+int main() {
+  using namespace lumos;
+
+  std::printf("collecting simulated airport campaign...\n");
+  const data::Dataset ds =
+      sim::collect_area_dataset(sim::make_airport(), /*walk_runs=*/8,
+                                /*drive_runs=*/0, /*seed=*/1);
+  std::printf("  %zu per-second samples\n", ds.size());
+
+  // 1. Train the full fallback chain: T+M+C -> L+M+C -> L+M.
+  core::Lumos5GConfig cfg;
+  cfg.feature_spec = data::FeatureSetSpec::parse("T+M+C");
+  cfg.gbdt.n_estimators = 150;
+  core::Lumos5G trainer(cfg);
+  if (const auto r = trainer.train(ds); !r) {
+    std::printf("training failed: %s\n", r.error().describe().c_str());
+    return 1;
+  }
+
+  // 2. Save one artifact.
+  const auto path =
+      std::filesystem::temp_directory_path() / "lumos_airport.l5gm";
+  if (const auto r = serve::save_model(trainer, path); !r) {
+    std::printf("save failed: %s\n", r.error().describe().c_str());
+    return 1;
+  }
+  std::printf("saved artifact: %s (%ju bytes)\n", path.c_str(),
+              static_cast<std::uintmax_t>(std::filesystem::file_size(path)));
+
+  // 3. Reload and compile, as a serving process would at startup.
+  const auto bytes = serve::read_artifact(path);
+  if (!bytes) {
+    std::printf("read failed: %s\n", bytes.error().describe().c_str());
+    return 1;
+  }
+  const auto reloaded = serve::load_lumos5g(*bytes);
+  if (!reloaded) {
+    std::printf("load failed: %s\n", reloaded.error().describe().c_str());
+    return 1;
+  }
+  const auto predictor = serve::Predictor::compile(*reloaded);
+  if (!predictor) {
+    std::printf("compile failed: %s\n", predictor.error().describe().c_str());
+    return 1;
+  }
+  std::printf("compiled serving snapshot: %zu flat nodes (%zu KiB)\n",
+              predictor->n_nodes(), predictor->n_nodes() * 16 / 1024);
+
+  // 4. Serve a small fleet: one Session per replayed UE.
+  const auto runs = ds.runs();
+  std::vector<serve::Session> fleet;
+  for (std::size_t r = 0; r < runs.size() && fleet.size() < 8; ++r) {
+    serve::Session s;
+    for (std::size_t i = 20; i < 28 && i < runs[r].size(); ++i) {
+      s.observe(ds[runs[r][i]]);
+    }
+    fleet.push_back(std::move(s));
+  }
+  const auto batch = predictor->predict_batch(fleet);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto direct = trainer.predict(fleet[i].window());
+    if (!batch[i] || !direct) {
+      std::printf("  UE%zu: no prediction\n", i);
+      continue;
+    }
+    if (std::bit_cast<std::uint64_t>(batch[i]->throughput_mbps) !=
+        std::bit_cast<std::uint64_t>(direct->throughput_mbps)) {
+      ++mismatches;
+    }
+    std::printf("  UE%zu: %7.0f Mbps  class %d  tier %d (%s)\n", i,
+                batch[i]->throughput_mbps, batch[i]->throughput_class,
+                batch[i]->tier, batch[i]->feature_group.c_str());
+  }
+  std::filesystem::remove(path);
+
+  if (mismatches != 0) {
+    std::printf("FAIL: %zu reloaded predictions differ from the trainer\n",
+                mismatches);
+    return 1;
+  }
+  std::printf("reloaded serving runtime matches the trainer bit for bit\n");
+  return 0;
+}

@@ -22,6 +22,10 @@ enum class ErrorCode {
   kInvalidArgument,  ///< bad configuration value
   kIoError,          ///< file open/read/write failure
   kParseError,       ///< malformed input data
+  kBadMagic,         ///< model file does not start with the LUM5 magic
+  kVersionMismatch,  ///< model file written by an incompatible format version
+  kTruncated,        ///< model file shorter than its header declares
+  kCorrupt,          ///< model file checksum mismatch (bit rot / tampering)
 };
 
 inline const char* to_string(ErrorCode c) noexcept {
@@ -32,6 +36,10 @@ inline const char* to_string(ErrorCode c) noexcept {
     case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kIoError: return "io_error";
     case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kBadMagic: return "bad_magic";
+    case ErrorCode::kVersionMismatch: return "version_mismatch";
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kCorrupt: return "corrupt";
   }
   return "?";
 }

@@ -101,6 +101,26 @@ class Lumos5G {
 
   const Lumos5GConfig& config() const noexcept { return cfg_; }
 
+  // --- fitted-state access for serialization (serve/model_io) ---
+  /// Models of tier `i`; only meaningful when tier_trained(i).
+  const ml::GbdtRegressor& tier_regressor(std::size_t i) const noexcept {
+    return tiers_[i].regressor;
+  }
+  const ml::GbdtClassifier& tier_classifier(std::size_t i) const noexcept {
+    return tiers_[i].classifier;
+  }
+
+  /// Reinstates tier `i` from deserialized models and marks it trained.
+  /// The facade must have been constructed with the same config that was
+  /// saved, so the tier chain (and feature names) line up.
+  void restore_tier(std::size_t i, ml::GbdtRegressor regressor,
+                    ml::GbdtClassifier classifier) {
+    tiers_[i].regressor = std::move(regressor);
+    tiers_[i].classifier = std::move(classifier);
+    tiers_[i].trained = true;
+    trained_ = true;
+  }
+
   /// Minimum usable feature rows for a tier to be trainable.
   static constexpr std::size_t kMinTrainRows = 10;
 

@@ -10,7 +10,12 @@ double HarmonicMeanPredictor::predict_next(std::span<const double> history,
   const std::size_t w = std::min(window_, history.size());
   double denom = 0.0;
   for (std::size_t i = history.size() - w; i < history.size(); ++i) {
-    denom += 1.0 / std::max(floor, history[i]);
+    // Only non-positive (or NaN) observations fall back to `floor`;
+    // legitimate sub-floor throughputs (0.5 Mbps in a dead zone) must
+    // enter the mean as-is or the fallback tail reads biased-high exactly
+    // where the network is worst.
+    const double v = history[i];
+    denom += 1.0 / (v > 0.0 ? v : floor);
   }
   return static_cast<double>(w) / denom;
 }

@@ -14,8 +14,10 @@ class HarmonicMeanPredictor {
       : window_(window) {}
 
   /// Predicts the next value from the trailing window of `history`.
-  /// Non-positive observations are clamped to `floor` to keep the harmonic
-  /// mean defined (5G throughput can legitimately hit 0 in dead zones).
+  /// Only non-positive (or NaN) observations are replaced by `floor` to
+  /// keep the harmonic mean defined (5G throughput can legitimately hit 0
+  /// in dead zones); positive observations below `floor` are used as-is —
+  /// clamping them would bias the prediction high exactly in dead zones.
   [[nodiscard]] double predict_next(std::span<const double> history,
                       double floor = 1.0) const noexcept;
 

@@ -1,0 +1,205 @@
+#include "serve/flat_model.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/parallel.h"
+
+namespace lumos::serve {
+namespace {
+
+/// Appends one tree to `out` in adjacent-children order and returns its
+/// root index. Works for any source node ordering (freshly fit or
+/// deserialized): an explicit worklist rewrites parent→child links as the
+/// pair slots are allocated.
+std::uint32_t flatten_tree(const ml::GradientTree& tree,
+                           std::vector<FlatNode>& out) {
+  const auto& src = tree.nodes();
+  const auto root = static_cast<std::uint32_t>(out.size());
+  if (src.empty()) {
+    // An unfit tree predicts 0.0; emit the equivalent single leaf.
+    out.push_back(FlatNode{0.0, -1, 0});
+    return root;
+  }
+
+  struct Pending {
+    std::size_t src_index;
+    std::uint32_t dst_index;
+  };
+  out.push_back(FlatNode{});
+  std::vector<Pending> stack{{0, root}};
+  while (!stack.empty()) {
+    const Pending p = stack.back();
+    stack.pop_back();
+    const auto& n = src[p.src_index];
+    FlatNode flat;
+    if (n.feature < 0) {
+      flat.value = n.value;
+      flat.feature = -1;
+      flat.left = 0;
+    } else {
+      const auto left_dst = static_cast<std::uint32_t>(out.size());
+      LUMOS_ASSERT(left_dst < FlatNode::kChildMask - 1,
+                   "flattened ensemble exceeds 2^31 nodes");
+      flat.value = n.threshold;
+      flat.feature = n.feature;
+      flat.left = left_dst |
+                  (n.default_left ? FlatNode::kDefaultLeftBit : 0U);
+      out.push_back(FlatNode{});
+      out.push_back(FlatNode{});
+      stack.push_back({static_cast<std::size_t>(n.left), left_dst});
+      stack.push_back({static_cast<std::size_t>(n.right), left_dst + 1});
+    }
+    out[p.dst_index] = flat;
+  }
+  return root;
+}
+
+double traverse(const FlatNode* nodes, std::uint32_t root,
+                std::span<const double> row) noexcept {
+  const FlatNode* n = &nodes[root];
+  while (n->feature >= 0) {
+    const double v = row[static_cast<std::size_t>(n->feature)];
+    const std::uint32_t left = n->left & FlatNode::kChildMask;
+    // NaN routes along the learned default branch, exactly like
+    // GradientTree::predict; finite values take the threshold compare.
+    const bool go_left = std::isnan(v)
+                             ? (n->left & FlatNode::kDefaultLeftBit) != 0U
+                             : v <= n->value;
+    n = &nodes[left + (go_left ? 0U : 1U)];
+  }
+  return n->value;
+}
+
+}  // namespace
+
+FlatForest FlatForest::flatten(std::span<const ml::GradientTree> trees,
+                               std::size_t first, std::size_t stride,
+                               Aggregate agg, double base, double scale) {
+  LUMOS_EXPECTS(stride >= 1, "FlatForest::flatten: stride must be >= 1");
+  FlatForest f;
+  f.agg_ = agg;
+  f.base_ = base;
+  f.scale_ = scale;
+  std::size_t total_nodes = 0;
+  for (std::size_t t = first; t < trees.size(); t += stride) {
+    total_nodes += trees[t].nodes().empty() ? 1 : trees[t].nodes().size();
+  }
+  f.nodes_.reserve(total_nodes);
+  for (std::size_t t = first; t < trees.size(); t += stride) {
+    f.roots_.push_back(flatten_tree(trees[t], f.nodes_));
+  }
+  return f;
+}
+
+FlatForest FlatForest::flatten(const ml::GbdtRegressor& model) {
+  return flatten(model.trees(), 0, 1, Aggregate::kScaledSum, model.base(),
+                 model.config().learning_rate);
+}
+
+FlatForest FlatForest::flatten(const ml::RandomForestRegressor& model) {
+  return flatten(model.trees(), 0, 1, Aggregate::kMean, 0.0, 1.0);
+}
+
+double FlatForest::predict(std::span<const double> row) const noexcept {
+  if (agg_ == Aggregate::kMean) {
+    if (roots_.empty()) return 0.0;  // matches RandomForest on no trees
+    double s = 0.0;
+    for (const std::uint32_t root : roots_) {
+      s += traverse(nodes_.data(), root, row);
+    }
+    return s / static_cast<double>(roots_.size());
+  }
+  double s = base_;
+  for (const std::uint32_t root : roots_) {
+    s += scale_ * traverse(nodes_.data(), root, row);
+  }
+  return s;
+}
+
+std::vector<double> FlatForest::predict_batch(
+    const ml::FeatureMatrix& x) const {
+  std::vector<double> out(x.rows());
+  parallel_for(0, x.rows(), 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t r = b; r < e; ++r) out[r] = predict(x.row(r));
+  });
+  return out;
+}
+
+FlatClassifier FlatClassifier::flatten(const ml::GbdtClassifier& model) {
+  FlatClassifier c;
+  const int kc = model.n_classes();
+  if (kc <= 0) return c;
+  // decision_function folds stages per class as
+  //   score[c] = base[c] + lr_scale * tree(stage 0, c) + ... ,
+  // which is exactly one kScaledSum forest per class over the interleaved
+  // [stage * kc + c] tree layout.
+  const double lr_scale = model.config().learning_rate *
+                          static_cast<double>(kc - 1) /
+                          static_cast<double>(kc);
+  c.per_class_.reserve(static_cast<std::size_t>(kc));
+  for (int cls = 0; cls < kc; ++cls) {
+    c.per_class_.push_back(FlatForest::flatten(
+        model.trees(), static_cast<std::size_t>(cls),
+        static_cast<std::size_t>(kc), FlatForest::Aggregate::kScaledSum,
+        model.base()[static_cast<std::size_t>(cls)], lr_scale));
+  }
+  return c;
+}
+
+FlatClassifier FlatClassifier::flatten(const ml::RandomForestClassifier& model) {
+  FlatClassifier c;
+  const int kc = model.n_classes();
+  if (kc <= 0) return c;
+  // RandomForestClassifier::predict sums raw per-class votes (no mean, no
+  // base); kScaledSum with base 0 / scale 1 reproduces that sum exactly.
+  c.per_class_.reserve(static_cast<std::size_t>(kc));
+  for (int cls = 0; cls < kc; ++cls) {
+    c.per_class_.push_back(FlatForest::flatten(
+        model.trees(), static_cast<std::size_t>(cls),
+        static_cast<std::size_t>(kc), FlatForest::Aggregate::kScaledSum, 0.0,
+        1.0));
+  }
+  return c;
+}
+
+std::vector<double> FlatClassifier::decision_function(
+    std::span<const double> row) const {
+  std::vector<double> score(per_class_.size());
+  for (std::size_t c = 0; c < per_class_.size(); ++c) {
+    score[c] = per_class_[c].predict(row);
+  }
+  return score;
+}
+
+int FlatClassifier::predict(std::span<const double> row) const noexcept {
+  if (per_class_.empty()) return 0;
+  // First-max-wins argmax, matching both training-time classifiers.
+  int best = 0;
+  double best_score = per_class_[0].predict(row);
+  for (std::size_t c = 1; c < per_class_.size(); ++c) {
+    const double s = per_class_[c].predict(row);
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<int> FlatClassifier::predict_batch(
+    const ml::FeatureMatrix& x) const {
+  std::vector<int> out(x.rows());
+  parallel_for(0, x.rows(), 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t r = b; r < e; ++r) out[r] = predict(x.row(r));
+  });
+  return out;
+}
+
+std::size_t FlatClassifier::n_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : per_class_) n += f.n_nodes();
+  return n;
+}
+
+}  // namespace lumos::serve

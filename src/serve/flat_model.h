@@ -1,0 +1,115 @@
+// Flattened serving-time tree layout. Training-time GradientTree nodes are
+// 48+ bytes and scattered across one vector per tree; for serving, every
+// tree of an ensemble is re-packed into ONE contiguous array of 16-byte
+// nodes laid out so that the two children of a split are always adjacent
+// (right child = left child + 1). Traversal is a tight iterative loop: one
+// compare, one add, one indexed load per level, with the whole ensemble
+// walking a single cache-resident buffer instead of chasing per-tree heap
+// allocations.
+//
+// Flattening is exact, not approximate: thresholds and leaf values keep
+// their IEEE-754 bit patterns and the per-tree accumulation order matches
+// the training-time predict() loops, so a FlatForest/FlatClassifier is
+// bit-identical to the pointer-layout model it was built from (enforced by
+// tests/test_serve.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/tree.h"
+#include "ml/types.h"
+
+namespace lumos::serve {
+
+/// One node, 16 bytes. Internal nodes: `value` is the split threshold,
+/// `feature` >= 0, `left` encodes the left-child index in its low 31 bits
+/// and the split's default-missing-direction in its top bit; the right
+/// child is always at left-child index + 1. Leaves: `feature` == -1 and
+/// `value` is the leaf output.
+struct FlatNode {
+  double value = 0.0;
+  std::int32_t feature = -1;
+  std::uint32_t left = 0;
+
+  static constexpr std::uint32_t kDefaultLeftBit = 0x80000000U;
+  static constexpr std::uint32_t kChildMask = 0x7FFFFFFFU;
+};
+
+static_assert(sizeof(FlatNode) == 16, "FlatNode must stay 16 bytes");
+
+/// A contiguous, iteratively-traversed ensemble with a fixed aggregation
+/// rule. Covers a GBDT margin (base + lr * sum) and a Random Forest mean.
+class FlatForest {
+ public:
+  enum class Aggregate : std::uint8_t {
+    kScaledSum,  ///< base + scale * tree_0 + scale * tree_1 + ...
+    kMean,       ///< (tree_0 + tree_1 + ...) / n_trees; 0.0 when empty
+  };
+
+  FlatForest() = default;
+
+  /// Flattens every `stride`-th tree of `trees` starting at `first` (the
+  /// interleaved [stage * n_classes + c] classifier layout selects one
+  /// class with first = c, stride = n_classes; plain ensembles use
+  /// first = 0, stride = 1). Tree order — and therefore floating-point
+  /// accumulation order — is preserved.
+  static FlatForest flatten(std::span<const ml::GradientTree> trees,
+                            std::size_t first, std::size_t stride,
+                            Aggregate agg, double base, double scale);
+
+  /// Convenience: the full prediction path of a fitted model.
+  static FlatForest flatten(const ml::GbdtRegressor& model);
+  static FlatForest flatten(const ml::RandomForestRegressor& model);
+
+  /// Bit-identical to the source ensemble's predict() on the same row.
+  [[nodiscard]] double predict(std::span<const double> row) const noexcept;
+
+  /// Batch predict, chunked over the global thread pool; rows are
+  /// independent so the output is identical at any LUMOS_THREADS.
+  [[nodiscard]] std::vector<double> predict_batch(
+      const ml::FeatureMatrix& x) const;
+
+  std::size_t n_trees() const noexcept { return roots_.size(); }
+  std::size_t n_nodes() const noexcept { return nodes_.size(); }
+
+ private:
+  std::vector<FlatNode> nodes_;
+  std::vector<std::uint32_t> roots_;  ///< root node index per tree
+  Aggregate agg_ = Aggregate::kScaledSum;
+  double base_ = 0.0;
+  double scale_ = 1.0;
+};
+
+/// Argmax over per-class FlatForests; mirrors GbdtClassifier /
+/// RandomForestClassifier prediction (first class wins ties, matching the
+/// training-time argmax scans).
+class FlatClassifier {
+ public:
+  FlatClassifier() = default;
+
+  static FlatClassifier flatten(const ml::GbdtClassifier& model);
+  static FlatClassifier flatten(const ml::RandomForestClassifier& model);
+
+  /// Per-class scores, bit-identical to the source model's margins.
+  [[nodiscard]] std::vector<double> decision_function(
+      std::span<const double> row) const;
+
+  /// Bit-identical to the source classifier's predict().
+  [[nodiscard]] int predict(std::span<const double> row) const noexcept;
+
+  /// Batch predict over the global thread pool (deterministic).
+  [[nodiscard]] std::vector<int> predict_batch(
+      const ml::FeatureMatrix& x) const;
+
+  int n_classes() const noexcept { return static_cast<int>(per_class_.size()); }
+  std::size_t n_nodes() const noexcept;
+
+ private:
+  std::vector<FlatForest> per_class_;
+};
+
+}  // namespace lumos::serve

@@ -1,0 +1,97 @@
+#include "serve/predictor.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace lumos::serve {
+
+Expected<Predictor> Predictor::compile(const core::Lumos5G& model) {
+  if (!model.trained()) {
+    return Error{ErrorCode::kNotTrained,
+                 "Predictor::compile: facade has no trained tier"};
+  }
+  Predictor p;
+  p.features_ = model.config().features;
+  p.fallback_ = model.config().fallback;
+  p.specs_ = model.tier_specs();
+  p.tiers_.resize(p.specs_.size());
+  for (std::size_t i = 0; i < p.specs_.size(); ++i) {
+    if (!model.tier_trained(i)) continue;
+    p.tiers_[i].regressor = FlatForest::flatten(model.tier_regressor(i));
+    p.tiers_[i].classifier = FlatClassifier::flatten(model.tier_classifier(i));
+    p.tiers_[i].compiled = true;
+  }
+  return p;
+}
+
+Expected<core::Prediction> Predictor::predict(
+    std::span<const data::SampleRecord> recent) const {
+  // Mirrors Lumos5G::predict tier by tier so a compiled predictor answers
+  // bit-identically to the facade it came from.
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    const FlatTier& tier = tiers_[i];
+    if (!tier.compiled) continue;
+    const auto row = data::feature_row_from_window(recent, specs_[i],
+                                                   features_);
+    if (!row) continue;
+    core::Prediction p;
+    p.throughput_mbps = tier.regressor.predict(*row);
+    p.throughput_class = tier.classifier.predict(*row);
+    p.tier = static_cast<int>(i);
+    p.feature_group = specs_[i].name();
+    return p;
+  }
+  if (fallback_.enabled && fallback_.harmonic_tail) {
+    // Same harmonic tail as the facade: harmonic mean of the most recent
+    // positive finite throughputs.
+    double inv_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = recent.size();
+         k-- > 0 && n < fallback_.harmonic_window;) {
+      const double v = recent[k].throughput_mbps;
+      if (std::isfinite(v) && v > 0.0) {
+        inv_sum += 1.0 / v;
+        ++n;
+      }
+    }
+    if (n > 0) {
+      core::Prediction p;
+      p.throughput_mbps = static_cast<double>(n) / inv_sum;
+      p.throughput_class =
+          data::throughput_class(p.throughput_mbps, features_);
+      p.tier = static_cast<int>(specs_.size());
+      p.feature_group = "harmonic";
+      return p;
+    }
+  }
+  return Error{ErrorCode::kWindowUnusable,
+               "Predictor::predict: window of " +
+                   std::to_string(recent.size()) +
+                   " samples cannot produce features for any compiled tier"};
+}
+
+std::vector<Expected<core::Prediction>> Predictor::predict_batch(
+    std::span<const Session> sessions) const {
+  std::vector<Expected<core::Prediction>> out(
+      sessions.size(),
+      Expected<core::Prediction>(Error{ErrorCode::kWindowUnusable, ""}));
+  parallel_for(0, sessions.size(), 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = predict(sessions[i].window());
+    }
+  });
+  return out;
+}
+
+std::size_t Predictor::n_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : tiers_) {
+    n += t.regressor.n_nodes() + t.classifier.n_nodes();
+  }
+  return n;
+}
+
+}  // namespace lumos::serve

@@ -1,0 +1,108 @@
+// The low-latency serving runtime over a trained (or reloaded)
+// core::Lumos5G facade. Compilation flattens every tier's GBDT pair into
+// contiguous FlatForest/FlatClassifier layouts; queries then walk the same
+// fallback chain as the facade — first trained tier whose features the
+// window can produce answers, harmonic tail last — and return predictions
+// bit-identical to Lumos5G::predict (enforced by tests/test_serve.cpp).
+//
+// Per-UE state lives in serve::Session: the C feature group needs the UE's
+// recent throughput/context history, so each UE keeps a small rolling
+// window of SampleRecords and the app feeds one record per second via
+// observe(). Batched prediction over many sessions is chunked across
+// lumos::ThreadPool and is bit-identical at any LUMOS_THREADS setting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "core/lumos5g.h"
+#include "data/features.h"
+#include "data/sample.h"
+#include "serve/flat_model.h"
+
+namespace lumos::serve {
+
+/// Rolling per-UE context window. Bounded: observing past capacity drops
+/// the oldest sample. The buffer stays contiguous (feature extraction
+/// wants one span), and at the default capacity the shift is a few
+/// hundred bytes — noise next to model traversal.
+class Session {
+ public:
+  /// Default capacity comfortably covers the facade's lag features
+  /// (FeatureConfig::throughput_lags, default 5) and harmonic window.
+  explicit Session(std::size_t capacity = 32) : capacity_(capacity) {
+    window_.reserve(capacity_);
+  }
+
+  void observe(const data::SampleRecord& sample) {
+    if (window_.size() == capacity_ && !window_.empty()) {
+      window_.erase(window_.begin());
+    }
+    window_.push_back(sample);
+  }
+
+  std::span<const data::SampleRecord> window() const noexcept {
+    return window_;
+  }
+  std::size_t size() const noexcept { return window_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  void clear() noexcept { window_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<data::SampleRecord> window_;
+};
+
+class Predictor {
+ public:
+  /// Builds the flattened serving snapshot of a trained facade. Errors
+  /// with kNotTrained when no tier is trained (nothing to serve).
+  [[nodiscard]] static Expected<Predictor> compile(
+      const core::Lumos5G& model);
+
+  /// Predicts from a raw context window (last element = "now"). Tier
+  /// walk, feature extraction, and errors mirror Lumos5G::predict.
+  [[nodiscard]] Expected<core::Prediction> predict(
+      std::span<const data::SampleRecord> recent) const;
+
+  [[nodiscard]] Expected<core::Prediction> predict(
+      const Session& session) const {
+    return predict(session.window());
+  }
+
+  /// Batched prediction: out[i] is sessions[i]'s prediction (or its typed
+  /// error — e.g. a freshly created session with an unusable window).
+  /// Sessions are chunked over the global thread pool; each writes only
+  /// its own slot, so the result is identical at any LUMOS_THREADS.
+  [[nodiscard]] std::vector<Expected<core::Prediction>> predict_batch(
+      std::span<const Session> sessions) const;
+
+  /// The model tier chain (most capable first), as in Lumos5G.
+  const std::vector<data::FeatureSetSpec>& tier_specs() const noexcept {
+    return specs_;
+  }
+  bool tier_compiled(std::size_t i) const noexcept {
+    return i < tiers_.size() && tiers_[i].compiled;
+  }
+
+  /// Total flattened nodes across all tiers (serving-memory footprint:
+  /// 16 bytes each).
+  std::size_t n_nodes() const noexcept;
+
+ private:
+  struct FlatTier {
+    FlatForest regressor;
+    FlatClassifier classifier;
+    bool compiled = false;
+  };
+
+  Predictor() = default;
+
+  data::FeatureConfig features_;
+  core::FallbackConfig fallback_;
+  std::vector<data::FeatureSetSpec> specs_;
+  std::vector<FlatTier> tiers_;
+};
+
+}  // namespace lumos::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace lumos::stats {
@@ -35,17 +36,17 @@ double coefficient_of_variation(std::span<const double> xs) noexcept {
 }
 
 double min_of(std::span<const double> xs) noexcept {
-  if (xs.empty()) return 0.0;
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   return *std::min_element(xs.begin(), xs.end());
 }
 
 double max_of(std::span<const double> xs) noexcept {
-  if (xs.empty()) return 0.0;
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   return *std::max_element(xs.begin(), xs.end());
 }
 
 double quantile(std::span<const double> xs, double q) {
-  if (xs.empty()) return 0.0;
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::vector<double> s(xs.begin(), xs.end());
   std::sort(s.begin(), s.end());
   q = std::clamp(q, 0.0, 1.0);

@@ -18,12 +18,17 @@ double stddev(std::span<const double> xs) noexcept;
 /// zero mean.
 double coefficient_of_variation(std::span<const double> xs) noexcept;
 
+/// Minimum / maximum of a sample. Empty input returns quiet NaN: an
+/// extremum of nothing is not 0.0, and a silent zero is indistinguishable
+/// from a real one in downstream aggregation (NaN propagates loudly).
 double min_of(std::span<const double> xs) noexcept;
 double max_of(std::span<const double> xs) noexcept;
 
 /// Linear-interpolated quantile, q in [0, 1]. Input need not be sorted.
+/// Empty input returns quiet NaN (see min_of).
 double quantile(std::span<const double> xs, double q);
 
+/// Empty input returns quiet NaN (see min_of).
 double median(std::span<const double> xs);
 
 /// Box-plot style summary of a sample.

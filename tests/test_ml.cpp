@@ -490,6 +490,21 @@ TEST(HarmonicMean, ZeroObservationsClampedToFloor) {
   EXPECT_NEAR(hm.predict_next(hist, 1.0), 1.0, 1e-9);
 }
 
+TEST(HarmonicMean, SubFloorPositiveObservationsNotClamped) {
+  // Regression: a dead-zone history of legitimate 0.5 Mbps samples must
+  // predict ~0.5, not be silently clamped up to the floor (1.0).
+  const std::vector<double> hist{0.5, 0.5, 0.5};
+  HarmonicMeanPredictor hm(3);
+  EXPECT_NEAR(hm.predict_next(hist, 1.0), 0.5, 1e-12);
+}
+
+TEST(HarmonicMean, MixedZeroAndSubFloorUsesBoth) {
+  // HM over {floor-substituted 1.0, real 0.5} = 2 / (1/1 + 1/0.5) = 2/3.
+  const std::vector<double> hist{0.0, 0.5};
+  HarmonicMeanPredictor hm(2);
+  EXPECT_NEAR(hm.predict_next(hist, 1.0), 2.0 / 3.0, 1e-12);
+}
+
 TEST(HarmonicMean, TraceFirstElementSeeded) {
   const std::vector<double> trace{10.0, 20.0, 30.0};
   HarmonicMeanPredictor hm(5);

@@ -1,0 +1,481 @@
+// Tests for lumos::serve — the versioned binary artifact format
+// (deterministic saves, bit-exact round-trips, typed failure on truncated /
+// bit-flipped / wrong-version files), the flattened inference layout
+// (bit-identical to the pointer-layout models), and the batched serving
+// Predictor (bit-identical to the Lumos5G facade, batch == individual).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/lumos5g.h"
+#include "data/features.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "serve/flat_model.h"
+#include "serve/model_io.h"
+#include "serve/predictor.h"
+#include "sim/areas.h"
+
+namespace lumos::serve {
+namespace {
+
+/// Bit-pattern comparison: "bit-identical" is the contract, not "close".
+std::uint64_t bits(double x) noexcept { return std::bit_cast<std::uint64_t>(x); }
+
+const data::Dataset& airport_ds() {
+  static const data::Dataset ds = [] {
+    const sim::Area area = sim::make_airport();
+    return sim::collect_area_dataset(area, /*walk_runs=*/6, 0, 4242);
+  }();
+  return ds;
+}
+
+/// L+M+C supervised matrix shared by the plain-model tests.
+const data::BuiltFeatures& lmc() {
+  static const data::BuiltFeatures bf =
+      data::build_features(airport_ds(), data::FeatureSetSpec::parse("L+M+C"));
+  return bf;
+}
+
+ml::GbdtConfig small_gbdt() {
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = 40;
+  cfg.max_depth = 5;
+  return cfg;
+}
+
+const ml::GbdtRegressor& gbdt_reg() {
+  static const ml::GbdtRegressor* m = [] {
+    auto* r = new ml::GbdtRegressor(small_gbdt());
+    r->fit(lmc().x, lmc().y_reg);
+    return r;
+  }();
+  return *m;
+}
+
+const ml::GbdtClassifier& gbdt_cls() {
+  static const ml::GbdtClassifier* m = [] {
+    auto* c = new ml::GbdtClassifier(small_gbdt());
+    c->fit(lmc().x, lmc().y_cls, data::kNumThroughputClasses);
+    return c;
+  }();
+  return *m;
+}
+
+const ml::RandomForestRegressor& rf_reg() {
+  static const ml::RandomForestRegressor* m = [] {
+    ml::ForestConfig cfg;
+    cfg.n_trees = 16;
+    cfg.max_depth = 8;
+    auto* r = new ml::RandomForestRegressor(cfg);
+    r->fit(lmc().x, lmc().y_reg);
+    return r;
+  }();
+  return *m;
+}
+
+const ml::RandomForestClassifier& rf_cls() {
+  static const ml::RandomForestClassifier* m = [] {
+    ml::ForestConfig cfg;
+    cfg.n_trees = 16;
+    cfg.max_depth = 8;
+    auto* c = new ml::RandomForestClassifier(cfg);
+    c->fit(lmc().x, lmc().y_cls, data::kNumThroughputClasses);
+    return c;
+  }();
+  return *m;
+}
+
+core::Lumos5GConfig facade_config() {
+  core::Lumos5GConfig cfg;
+  cfg.feature_spec = data::FeatureSetSpec::parse("T+M+C");
+  cfg.gbdt = small_gbdt();
+  return cfg;
+}
+
+/// A trained T+M+C facade (three-tier fallback chain), shared.
+const core::Lumos5G& facade() {
+  static const core::Lumos5G* m = [] {
+    auto* f = new core::Lumos5G(facade_config());
+    const auto ok = f->train(airport_ds());
+    EXPECT_TRUE(ok.has_value());
+    return f;
+  }();
+  return *m;
+}
+
+/// Query windows exercising every tier outcome: full context (tier 0),
+/// missing panel geometry (tier 1+), and short histories.
+std::vector<std::vector<data::SampleRecord>> query_windows() {
+  std::vector<std::vector<data::SampleRecord>> windows;
+  const auto& ds = airport_ds();
+  const auto runs = ds.runs();
+  for (std::size_t r = 0; r < runs.size() && windows.size() < 24; ++r) {
+    const auto& run = runs[r];
+    for (std::size_t start = 10; start + 8 < run.size() && windows.size() < 24;
+         start += 37) {
+      std::vector<data::SampleRecord> w;
+      for (std::size_t i = start; i < start + 8; ++i) w.push_back(ds[run[i]]);
+      windows.push_back(w);
+
+      // Same window with panel geometry knocked out: T can't fire.
+      auto degraded = w;
+      for (auto& s : degraded) {
+        s.ue_panel_distance_m = data::SampleRecord::nan_value();
+        s.theta_p_deg = data::SampleRecord::nan_value();
+        s.theta_m_deg = data::SampleRecord::nan_value();
+      }
+      windows.push_back(degraded);
+
+      // Short history: lag features (group C) unavailable.
+      windows.emplace_back(w.begin(), w.begin() + 2);
+    }
+  }
+  return windows;
+}
+
+// ---------- artifact format ----------
+
+TEST(ModelIo, SaveIsDeterministic) {
+  const std::string a = save_bytes(gbdt_reg());
+  const std::string b = save_bytes(gbdt_reg());
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 25u);  // header + payload + hash
+
+  const std::string fa = save_bytes(facade());
+  const std::string fb = save_bytes(facade());
+  EXPECT_EQ(fa, fb);
+
+  const auto kind = peek_kind(a);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, ModelKind::kGbdtRegressor);
+  const auto fkind = peek_kind(fa);
+  ASSERT_TRUE(fkind.has_value());
+  EXPECT_EQ(*fkind, ModelKind::kLumos5G);
+}
+
+TEST(ModelIo, GbdtRegressorRoundTripBitIdentical) {
+  const auto loaded = load_gbdt_regressor(save_bytes(gbdt_reg()));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->n_features(), gbdt_reg().n_features());
+  EXPECT_EQ(loaded->trees().size(), gbdt_reg().trees().size());
+  for (std::size_t r = 0; r < lmc().x.rows(); ++r) {
+    ASSERT_EQ(bits(loaded->predict(lmc().x.row(r))),
+              bits(gbdt_reg().predict(lmc().x.row(r))))
+        << "row " << r;
+  }
+}
+
+TEST(ModelIo, GbdtClassifierRoundTripBitIdentical) {
+  const auto loaded = load_gbdt_classifier(save_bytes(gbdt_cls()));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->n_classes(), gbdt_cls().n_classes());
+  for (std::size_t r = 0; r < lmc().x.rows(); ++r) {
+    const auto row = lmc().x.row(r);
+    ASSERT_EQ(loaded->predict(row), gbdt_cls().predict(row)) << "row " << r;
+    const auto da = loaded->decision_function(row);
+    const auto db = gbdt_cls().decision_function(row);
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t c = 0; c < da.size(); ++c) {
+      ASSERT_EQ(bits(da[c]), bits(db[c])) << "row " << r << " class " << c;
+    }
+  }
+}
+
+TEST(ModelIo, ForestRegressorRoundTripBitIdentical) {
+  const auto loaded = load_forest_regressor(save_bytes(rf_reg()));
+  ASSERT_TRUE(loaded.has_value());
+  for (std::size_t r = 0; r < lmc().x.rows(); ++r) {
+    ASSERT_EQ(bits(loaded->predict(lmc().x.row(r))),
+              bits(rf_reg().predict(lmc().x.row(r))))
+        << "row " << r;
+  }
+}
+
+TEST(ModelIo, ForestClassifierRoundTripBitIdentical) {
+  const auto loaded = load_forest_classifier(save_bytes(rf_cls()));
+  ASSERT_TRUE(loaded.has_value());
+  for (std::size_t r = 0; r < lmc().x.rows(); ++r) {
+    ASSERT_EQ(loaded->predict(lmc().x.row(r)), rf_cls().predict(lmc().x.row(r)))
+        << "row " << r;
+  }
+}
+
+TEST(ModelIo, Lumos5GRoundTripThroughFileBitIdentical) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "lumos_test_serve_facade.l5gm";
+  ASSERT_TRUE(save_model(facade(), path).has_value());
+  const auto bytes = read_artifact(path);
+  ASSERT_TRUE(bytes.has_value());
+  const auto loaded = load_lumos5g(*bytes);
+  ASSERT_TRUE(loaded.has_value());
+  std::filesystem::remove(path);
+
+  EXPECT_TRUE(loaded->trained());
+  ASSERT_EQ(loaded->tier_specs().size(), facade().tier_specs().size());
+  for (std::size_t t = 0; t < facade().tier_specs().size(); ++t) {
+    EXPECT_EQ(loaded->tier_trained(t), facade().tier_trained(t)) << "tier " << t;
+  }
+
+  for (const auto& w : query_windows()) {
+    const auto a = facade().predict(w);
+    const auto b = loaded->predict(w);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) {
+      EXPECT_EQ(a.error().code, b.error().code);
+      continue;
+    }
+    EXPECT_EQ(bits(a->throughput_mbps), bits(b->throughput_mbps));
+    EXPECT_EQ(a->throughput_class, b->throughput_class);
+    EXPECT_EQ(a->tier, b->tier);
+    EXPECT_EQ(a->feature_group, b->feature_group);
+  }
+}
+
+TEST(ModelIo, EveryTruncationIsTypedTruncated) {
+  const std::string full = save_bytes(gbdt_reg());
+  // Every strict prefix must fail as kTruncated — sample lengths densely
+  // near the header and stride through the payload.
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n < 32 && n < full.size(); ++n) lengths.push_back(n);
+  const std::size_t stride = std::max<std::size_t>(1, full.size() / 64);
+  for (std::size_t n = 32; n < full.size(); n += stride) lengths.push_back(n);
+  lengths.push_back(full.size() - 1);
+  for (const std::size_t n : lengths) {
+    const auto r = load_gbdt_regressor(full.substr(0, n));
+    ASSERT_FALSE(r.has_value()) << "prefix length " << n;
+    EXPECT_EQ(r.error().code, ErrorCode::kTruncated) << "prefix length " << n;
+  }
+}
+
+TEST(ModelIo, BitFlipsAreTypedNeverUb) {
+  const std::string full = save_bytes(gbdt_reg());
+  const std::size_t stride = std::max<std::size_t>(1, full.size() / 96);
+  for (std::size_t pos = 0; pos < full.size(); pos += stride) {
+    for (const int bit : {0, 7}) {
+      std::string damaged = full;
+      damaged[pos] = static_cast<char>(
+          static_cast<unsigned char>(damaged[pos]) ^ (1u << bit));
+      const auto r = load_gbdt_regressor(damaged);
+      ASSERT_FALSE(r.has_value()) << "byte " << pos << " bit " << bit;
+      const auto code = r.error().code;
+      EXPECT_TRUE(code == ErrorCode::kBadMagic ||
+                  code == ErrorCode::kVersionMismatch ||
+                  code == ErrorCode::kTruncated ||
+                  code == ErrorCode::kCorrupt || code == ErrorCode::kParseError)
+          << "byte " << pos << " bit " << bit << " -> " << to_string(code);
+    }
+  }
+}
+
+TEST(ModelIo, WrongMagicRejected) {
+  std::string bytes = save_bytes(gbdt_reg());
+  bytes[0] = 'X';
+  const auto r = load_gbdt_regressor(bytes);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kBadMagic);
+}
+
+TEST(ModelIo, FutureVersionRejectedBeforeHashCheck) {
+  std::string bytes = save_bytes(gbdt_reg());
+  // Patch the u32 version field at offset 4 to kFormatVersion + 1. The
+  // hash no longer matches either, but version must win: the reader can't
+  // trust its own layout knowledge on a future format.
+  bytes[4] = static_cast<char>(kFormatVersion + 1);
+  const auto r = load_gbdt_regressor(bytes);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kVersionMismatch);
+}
+
+TEST(ModelIo, WrongKindRejected) {
+  const std::string bytes = save_bytes(gbdt_reg());
+  const auto r = load_forest_regressor(bytes);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kParseError);
+  const auto f = load_lumos5g(bytes);
+  ASSERT_FALSE(f.has_value());
+  EXPECT_EQ(f.error().code, ErrorCode::kParseError);
+}
+
+TEST(ModelIo, TrailingBytesRejected) {
+  std::string bytes = save_bytes(gbdt_reg());
+  bytes.push_back('\0');
+  const auto r = load_gbdt_regressor(bytes);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kCorrupt);
+}
+
+TEST(ModelIo, EmptyAndTinyBuffersTruncated) {
+  for (const std::string_view bytes : {std::string_view{}, std::string_view{"L"},
+                                       std::string_view{"L5G"}}) {
+    const auto r = load_gbdt_regressor(bytes);
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, ErrorCode::kTruncated);
+  }
+}
+
+TEST(ModelIo, MissingFileIsIoError) {
+  const auto r = read_artifact("/nonexistent/lumos/model.l5gm");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kIoError);
+}
+
+// ---------- flattened layout ----------
+
+TEST(FlatModel, GbdtForestMatchesPointerBitwise) {
+  const FlatForest flat = FlatForest::flatten(gbdt_reg());
+  EXPECT_EQ(flat.n_trees(), gbdt_reg().trees().size());
+  const auto batch = flat.predict_batch(lmc().x);
+  ASSERT_EQ(batch.size(), lmc().x.rows());
+  for (std::size_t r = 0; r < lmc().x.rows(); ++r) {
+    ASSERT_EQ(bits(flat.predict(lmc().x.row(r))),
+              bits(gbdt_reg().predict(lmc().x.row(r))))
+        << "row " << r;
+    ASSERT_EQ(bits(batch[r]), bits(gbdt_reg().predict(lmc().x.row(r))));
+  }
+}
+
+TEST(FlatModel, RandomForestMatchesPointerBitwise) {
+  const FlatForest flat = FlatForest::flatten(rf_reg());
+  for (std::size_t r = 0; r < lmc().x.rows(); ++r) {
+    ASSERT_EQ(bits(flat.predict(lmc().x.row(r))),
+              bits(rf_reg().predict(lmc().x.row(r))))
+        << "row " << r;
+  }
+}
+
+TEST(FlatModel, GbdtClassifierMatchesPointerBitwise) {
+  const FlatClassifier flat = FlatClassifier::flatten(gbdt_cls());
+  EXPECT_EQ(flat.n_classes(), gbdt_cls().n_classes());
+  const auto batch = flat.predict_batch(lmc().x);
+  for (std::size_t r = 0; r < lmc().x.rows(); ++r) {
+    const auto row = lmc().x.row(r);
+    ASSERT_EQ(flat.predict(row), gbdt_cls().predict(row)) << "row " << r;
+    ASSERT_EQ(batch[r], gbdt_cls().predict(row));
+    const auto da = flat.decision_function(row);
+    const auto db = gbdt_cls().decision_function(row);
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t c = 0; c < da.size(); ++c) {
+      ASSERT_EQ(bits(da[c]), bits(db[c])) << "row " << r << " class " << c;
+    }
+  }
+}
+
+TEST(FlatModel, RandomForestClassifierMatchesPointer) {
+  const FlatClassifier flat = FlatClassifier::flatten(rf_cls());
+  for (std::size_t r = 0; r < lmc().x.rows(); ++r) {
+    ASSERT_EQ(flat.predict(lmc().x.row(r)), rf_cls().predict(lmc().x.row(r)))
+        << "row " << r;
+  }
+}
+
+TEST(FlatModel, NanRoutingMatchesPointer) {
+  const FlatForest flat = FlatForest::flatten(gbdt_reg());
+  // Knock out each feature in turn: missing values must take the learned
+  // default branch, exactly as the pointer layout does.
+  for (std::size_t r = 0; r < std::min<std::size_t>(lmc().x.rows(), 40); ++r) {
+    for (std::size_t f = 0; f < lmc().x.cols(); ++f) {
+      std::vector<double> row(lmc().x.row(r).begin(), lmc().x.row(r).end());
+      row[f] = data::SampleRecord::nan_value();
+      ASSERT_EQ(bits(flat.predict(row)), bits(gbdt_reg().predict(row)))
+          << "row " << r << " feature " << f;
+    }
+  }
+}
+
+// ---------- serving predictor ----------
+
+TEST(Predictor, CompileRejectsUntrained) {
+  const core::Lumos5G untrained;
+  const auto p = Predictor::compile(untrained);
+  ASSERT_FALSE(p.has_value());
+  EXPECT_EQ(p.error().code, ErrorCode::kNotTrained);
+}
+
+TEST(Predictor, MatchesFacadeBitwise) {
+  const auto compiled = Predictor::compile(facade());
+  ASSERT_TRUE(compiled.has_value());
+  EXPECT_GT(compiled->n_nodes(), 0u);
+  ASSERT_EQ(compiled->tier_specs().size(), facade().tier_specs().size());
+
+  for (const auto& w : query_windows()) {
+    const auto a = facade().predict(w);
+    const auto b = compiled->predict(w);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) {
+      EXPECT_EQ(a.error().code, b.error().code);
+      continue;
+    }
+    EXPECT_EQ(bits(a->throughput_mbps), bits(b->throughput_mbps));
+    EXPECT_EQ(a->throughput_class, b->throughput_class);
+    EXPECT_EQ(a->tier, b->tier);
+    EXPECT_EQ(a->feature_group, b->feature_group);
+  }
+}
+
+TEST(Predictor, ReloadedFacadeCompilesToSamePredictions) {
+  // The full consumer story: train -> save -> reload in a "fresh" facade ->
+  // compile -> serve. Every step must preserve bit-identity.
+  const auto reloaded = load_lumos5g(save_bytes(facade()));
+  ASSERT_TRUE(reloaded.has_value());
+  const auto compiled = Predictor::compile(*reloaded);
+  ASSERT_TRUE(compiled.has_value());
+  for (const auto& w : query_windows()) {
+    const auto a = facade().predict(w);
+    const auto b = compiled->predict(w);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(bits(a->throughput_mbps), bits(b->throughput_mbps));
+      EXPECT_EQ(a->tier, b->tier);
+    }
+  }
+}
+
+TEST(Predictor, BatchMatchesIndividual) {
+  const auto compiled = Predictor::compile(facade());
+  ASSERT_TRUE(compiled.has_value());
+
+  std::vector<Session> sessions;
+  for (const auto& w : query_windows()) {
+    Session s;
+    for (const auto& sample : w) s.observe(sample);
+    sessions.push_back(std::move(s));
+  }
+  sessions.emplace_back();  // empty session: typed error expected
+
+  const auto batch = compiled->predict_batch(sessions);
+  ASSERT_EQ(batch.size(), sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto single = compiled->predict(sessions[i]);
+    ASSERT_EQ(batch[i].has_value(), single.has_value()) << "session " << i;
+    if (!single.has_value()) {
+      EXPECT_EQ(batch[i].error().code, single.error().code);
+      continue;
+    }
+    EXPECT_EQ(bits(batch[i]->throughput_mbps), bits(single->throughput_mbps));
+    EXPECT_EQ(batch[i]->throughput_class, single->throughput_class);
+    EXPECT_EQ(batch[i]->tier, single->tier);
+  }
+}
+
+TEST(Session, RollingWindowDropsOldest) {
+  Session s(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    data::SampleRecord rec;
+    rec.timestamp_s = static_cast<double>(i);
+    s.observe(rec);
+  }
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.window().front().timestamp_s, 2.0);
+  EXPECT_EQ(s.window().back().timestamp_s, 5.0);
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lumos::serve

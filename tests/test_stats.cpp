@@ -3,6 +3,8 @@
 // validated against known reference values and distributional properties.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -61,6 +63,16 @@ TEST(Descriptive, QuantilesInterpolate) {
   EXPECT_NEAR(quantile(v, 1.0), 4.0, 1e-12);
   EXPECT_NEAR(quantile(v, 0.5), 2.5, 1e-12);
   EXPECT_NEAR(median(v), 2.5, 1e-12);
+}
+
+TEST(Descriptive, EmptyInputYieldsNanExtremaAndQuantiles) {
+  // Contract (descriptive.h): an extremum/quantile of nothing is NaN, not
+  // a silent 0.0 that downstream aggregation can't tell from a real zero.
+  const std::span<const double> empty;
+  EXPECT_TRUE(std::isnan(min_of(empty)));
+  EXPECT_TRUE(std::isnan(max_of(empty)));
+  EXPECT_TRUE(std::isnan(quantile(empty, 0.5)));
+  EXPECT_TRUE(std::isnan(median(empty)));
 }
 
 TEST(Descriptive, SummaryMatchesComponents) {

@@ -37,6 +37,9 @@ const std::vector<Layer>& layer_table() {
       {"src/sim/", {"common/", "geo/", "data/", "sim/"}},
       {"src/core/",
        {"common/", "geo/", "stats/", "data/", "ml/", "nn/", "core/"}},
+      {"src/serve/",
+       {"common/", "geo/", "stats/", "data/", "ml/", "nn/", "core/",
+        "serve/"}},
   };
   return kLayers;
 }
@@ -92,7 +95,7 @@ std::vector<Rule> make_rules() {
                "query instead of degrading",
                RuleKind::kPattern,
                R"((^|[^_[:alnum:]])throw([^_[:alnum:]]|$))",
-               {"src/core/", "src/ml/"},
+               {"src/core/", "src/ml/", "src/serve/"},
                {}});
 
   r.push_back({"naked-assert",
