@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/parallel.h"
 #include "core/lumos5g.h"
 #include "core/throughput_map.h"
@@ -22,7 +23,9 @@
 #include "ml/knn.h"
 #include "nn/seq2seq.h"
 #include "serve/flat_model.h"
+#include "serve/model_io.h"
 #include "serve/predictor.h"
+#include "serve/server.h"
 #include "sim/areas.h"
 #include "sim/connection.h"
 
@@ -316,9 +319,9 @@ BENCHMARK(BM_FlatVsPointerPredict)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
-// End-to-end serving throughput (preds/sec): a compiled Predictor answers
-// a fleet of per-UE sessions, batched over the pool (Arg = pool size).
-void BM_ServePredictBatch(benchmark::State& state) {
+// Shared serving fixtures: one trained T+M+C facade and its compiled
+// snapshot, reused by the batch, server-loop, and reload benches.
+const core::Lumos5G& serve_facade() {
   static const core::Lumos5G* facade = [] {
     core::Lumos5GConfig cfg;
     cfg.feature_spec = data::FeatureSetSpec::parse("T+M+C");
@@ -327,11 +330,22 @@ void BM_ServePredictBatch(benchmark::State& state) {
     if (!f->train(airport_ds())) std::abort();
     return f;
   }();
+  return *facade;
+}
+
+const serve::Predictor& serve_predictor() {
   static const serve::Predictor* predictor = [] {
-    auto compiled = serve::Predictor::compile(*facade);
+    auto compiled = serve::Predictor::compile(serve_facade());
     if (!compiled) std::abort();
     return new serve::Predictor(std::move(*compiled));
   }();
+  return *predictor;
+}
+
+// End-to-end serving throughput (preds/sec): a compiled Predictor answers
+// a fleet of per-UE sessions, batched over the pool (Arg = pool size).
+void BM_ServePredictBatch(benchmark::State& state) {
+  static const serve::Predictor* predictor = &serve_predictor();
   static const std::vector<serve::Session> sessions = [] {
     std::vector<serve::Session> out;
     const auto& ds = airport_ds();
@@ -355,6 +369,61 @@ void BM_ServePredictBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(sessions.size()));
 }
 BENCHMARK(BM_ServePredictBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The resilient server loop end to end (requests/sec): admission control,
+// deadline stamping, session upkeep, the depth-derived tier floor, and the
+// batched predict, driven submit->step on a virtual clock (Arg = pool
+// size). The delta against BM_ServePredictBatch is the loop's overhead.
+void BM_ServerThroughput(benchmark::State& state) {
+  static const std::vector<data::SampleRecord>* stream = [] {
+    auto* v = new std::vector<data::SampleRecord>;
+    const auto& ds = airport_ds();
+    for (const auto& run : ds.runs()) {
+      for (std::size_t i = 0; i < run.size() && v->size() < 2048; ++i) {
+        v->push_back(ds[run[i]]);
+      }
+    }
+    return v;
+  }();
+  ThreadPool::global().set_threads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ManualClock clock;
+    serve::ServerConfig cfg;
+    cfg.queue_capacity = 64;
+    cfg.max_batch = 16;
+    serve::Server server(serve::Predictor(serve_predictor()), cfg, clock);
+    std::size_t i = 0;
+    for (const auto& s : *stream) {
+      benchmark::DoNotOptimize(server.submit({i % 16, s, 0}));
+      if (++i % 16 == 0) {
+        clock.advance_ms(1'000);
+        benchmark::DoNotOptimize(server.step());
+      }
+    }
+    benchmark::DoNotOptimize(server.drain());
+  }
+  ThreadPool::global().set_threads(0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream->size()));
+}
+BENCHMARK(BM_ServerThroughput)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The stall a hot reload inserts between serving steps: full envelope
+// validation + payload parse + tier compile + atomic swap of a T+M+C
+// facade artifact already in memory (the disk read is BM-irrelevant and
+// retried I/O is a policy knob, not a hot path).
+void BM_ServerReloadStall(benchmark::State& state) {
+  static const std::string* bytes =
+      new std::string(serve::save_bytes(serve_facade()));
+  ManualClock clock;
+  serve::Server server(serve::Predictor(serve_predictor()),
+                       serve::ServerConfig{}, clock);
+  for (auto _ : state) {
+    if (!server.reload_bytes(*bytes)) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerReloadStall)->Unit(benchmark::kMillisecond);
 
 void BM_ThroughputMapBuild(benchmark::State& state) {
   const auto& ds = airport_ds();

@@ -1,0 +1,33 @@
+// The single wall-clock-reading translation unit in src/ (see the
+// `wall-clock` lumos-lint rule, which exempts src/common/clock. so the
+// real Clock implementation can exist at all). Everything else takes a
+// Clock& and never touches std::chrono clocks directly.
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lumos {
+namespace {
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SteadyClock::SteadyClock() noexcept : epoch_ms_(steady_now_ms()) {}
+
+std::uint64_t SteadyClock::now_ms() {
+  const std::uint64_t t = steady_now_ms();
+  return t >= epoch_ms_ ? t - epoch_ms_ : 0;
+}
+
+void SteadyClock::sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace lumos

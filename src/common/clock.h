@@ -1,0 +1,70 @@
+// Injectable monotonic time source for the long-running serving loop.
+//
+// Library code must never read the wall clock directly (the lumos-lint
+// `wall-clock` rule bans it in src/): results that depend on real time are
+// unreproducible, and the serving soak tests need to script time — advance
+// it tick by tick, jump it hours forward, replay a run bit for bit. So
+// anything time-dependent takes a Clock&:
+//
+//   * ManualClock — a virtual clock owned by the test/sim harness. now_ms()
+//     returns whatever the harness set; sleep_ms() advances it (a sleeping
+//     server "experiences" the wait without stalling the test).
+//   * SteadyClock — the one blessed real-time implementation, backed by
+//     std::chrono::steady_clock (monotonic: immune to NTP steps and
+//     daylight-saving jumps). Its implementation lives in clock.cpp, which
+//     is the single wall-clock-exempt file in src/.
+//
+// Milliseconds in a uint64 cover ~584 million years of uptime; everything
+// in the serving layer (deadlines, TTLs, backoff) is ms-granular.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lumos {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic milliseconds since an arbitrary epoch (process start for
+  /// SteadyClock, construction value for ManualClock). Never decreases.
+  virtual std::uint64_t now_ms() = 0;
+
+  /// Blocks (or, for a virtual clock, pretends to block) for `ms`.
+  virtual void sleep_ms(std::uint64_t ms) = 0;
+};
+
+/// Scriptable clock for tests and deterministic soaks. Thread-safe: time
+/// only moves forward via atomic adds, so concurrent readers always see a
+/// monotone sequence.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_ms = 0) noexcept : now_(start_ms) {}
+
+  std::uint64_t now_ms() override { return now_.load(std::memory_order_relaxed); }
+
+  /// A virtual sleep is just the passage of virtual time.
+  void sleep_ms(std::uint64_t ms) override { advance_ms(ms); }
+
+  void advance_ms(std::uint64_t ms) noexcept {
+    now_.fetch_add(ms, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+/// Real monotonic clock for production serving loops. now_ms() is relative
+/// to the first SteadyClock construction in the process.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() noexcept;
+  std::uint64_t now_ms() override;
+  void sleep_ms(std::uint64_t ms) override;
+
+ private:
+  std::uint64_t epoch_ms_;  ///< steady_clock reading captured at construction
+};
+
+}  // namespace lumos

@@ -26,6 +26,9 @@ enum class ErrorCode {
   kVersionMismatch,  ///< model file written by an incompatible format version
   kTruncated,        ///< model file shorter than its header declares
   kCorrupt,          ///< model file checksum mismatch (bit rot / tampering)
+  kOverloaded,       ///< request shed: serving queue above its watermark
+  kDeadlineExceeded, ///< request expired in the queue before being served
+  kShuttingDown,     ///< server no longer admits requests
 };
 
 inline const char* to_string(ErrorCode c) noexcept {
@@ -40,6 +43,9 @@ inline const char* to_string(ErrorCode c) noexcept {
     case ErrorCode::kVersionMismatch: return "version_mismatch";
     case ErrorCode::kTruncated: return "truncated";
     case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
   }
   return "?";
 }

@@ -1,0 +1,60 @@
+#include "serve/chaos.h"
+
+#include <algorithm>
+
+namespace lumos::serve {
+
+ChaosConfig ChaosConfig::uniform(double r) noexcept {
+  ChaosConfig c;
+  c.corrupt_artifact = r;
+  c.truncate_artifact = r;
+  c.duplicate_request = r;
+  c.stale_request = r;
+  c.flood = r;
+  c.clock_jump = r;
+  return c;
+}
+
+std::string ChaosInjector::damage_artifact(std::string bytes) {
+  if (bytes.empty()) return bytes;
+  // Each draw happens unconditionally so the stream position — and with it
+  // every later fault — depends only on the call sequence, not on which
+  // faults fired (same discipline as Rng::normal discarding its spare).
+  const bool flip = rng_.bernoulli(cfg_.corrupt_artifact);
+  const std::size_t flip_at =
+      static_cast<std::size_t>(rng_.uniform_int(bytes.size()));
+  const int flip_bit = static_cast<int>(rng_.uniform_int(8));
+  const bool cut = rng_.bernoulli(cfg_.truncate_artifact);
+  const std::size_t cut_to =
+      static_cast<std::size_t>(rng_.uniform_int(bytes.size()));
+  if (flip) {
+    bytes[flip_at] = static_cast<char>(
+        static_cast<unsigned char>(bytes[flip_at]) ^ (1u << flip_bit));
+  }
+  if (cut) bytes.resize(cut_to);
+  return bytes;
+}
+
+bool ChaosInjector::should_duplicate() {
+  return rng_.bernoulli(cfg_.duplicate_request);
+}
+
+bool ChaosInjector::make_stale(data::SampleRecord& sample) {
+  const bool stale = rng_.bernoulli(cfg_.stale_request);
+  const double rewind = rng_.uniform(0.5, 1.5) * cfg_.stale_rewind_s;
+  if (stale) sample.timestamp_s -= rewind;
+  return stale;
+}
+
+std::size_t ChaosInjector::flood_multiplier() {
+  const bool burst = rng_.bernoulli(cfg_.flood);
+  return burst ? std::max<std::size_t>(1, cfg_.flood_factor) : 1;
+}
+
+std::uint64_t ChaosInjector::clock_jump_ms() {
+  const bool jump = rng_.bernoulli(cfg_.clock_jump);
+  const std::uint64_t ms = rng_.uniform_int(cfg_.max_clock_jump_ms + 1);
+  return jump ? ms : 0;
+}
+
+}  // namespace lumos::serve

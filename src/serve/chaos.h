@@ -1,0 +1,77 @@
+// serve::ChaosInjector — seeded fault injection for the serving loop, the
+// serve-layer sibling of sim::FaultInjector (which hardens the *data*
+// pipeline). Where the data injector dirties traces, the chaos injector
+// dirties *operations*: artifacts get bit-flipped or truncated mid-reload,
+// ticks turn into request floods, session updates arrive duplicated or
+// stale, and the clock jumps forward (suspend/resume, NTP-free steady
+// drift). Every draw comes from one lumos::Rng stream, so a soak is a pure
+// function of (config, seed, drive sequence) and replays bit for bit; with
+// all rates at zero every hook is an identity / no-op.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "data/sample.h"
+
+namespace lumos::serve {
+
+/// Per-event fault probabilities, all in [0, 1] and all zero by default
+/// (the injector is then a no-op).
+struct ChaosConfig {
+  // --- reload path ---
+  double corrupt_artifact = 0.0;   ///< flip one random bit of the artifact
+  double truncate_artifact = 0.0;  ///< drop a random-length suffix
+
+  // --- request stream ---
+  double duplicate_request = 0.0;  ///< observation submitted twice
+  double stale_request = 0.0;      ///< observation timestamp rewound
+  double stale_rewind_s = 30.0;    ///< how far a stale timestamp rewinds
+
+  // --- load ---
+  double flood = 0.0;              ///< this tick bursts flood_factor x load
+  std::size_t flood_factor = 8;
+
+  // --- time ---
+  double clock_jump = 0.0;              ///< forward clock jump at this tick
+  std::uint64_t max_clock_jump_ms = 5000;
+
+  /// Convenience: every probability above set to `r` (amplitude knobs
+  /// untouched), mirroring sim::FaultConfig::uniform.
+  [[nodiscard]] static ChaosConfig uniform(double r) noexcept;
+};
+
+class ChaosInjector {
+ public:
+  ChaosInjector(ChaosConfig cfg, std::uint64_t seed) noexcept
+      : cfg_(cfg), rng_(seed) {}
+
+  /// Maybe damages artifact bytes on their way to a reload: a single
+  /// random bit flip (caught by the envelope hash -> kCorrupt) and/or a
+  /// truncation (-> kTruncated). Returns the bytes unchanged when no fault
+  /// is drawn; never grows the buffer.
+  [[nodiscard]] std::string damage_artifact(std::string bytes);
+
+  /// True when the current observation should also be submitted a second
+  /// time (crowdsourced uploaders retry on flaky links).
+  [[nodiscard]] bool should_duplicate();
+
+  /// Maybe rewinds `sample`'s timestamp by ~stale_rewind_s (a delayed
+  /// upload arriving after fresher data). Returns whether it did.
+  bool make_stale(data::SampleRecord& sample);
+
+  /// Requests to submit this tick: 1 normally, flood_factor on a flood.
+  [[nodiscard]] std::size_t flood_multiplier();
+
+  /// Milliseconds the clock should jump forward this tick (0 = no jump).
+  [[nodiscard]] std::uint64_t clock_jump_ms();
+
+  const ChaosConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ChaosConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace lumos::serve

@@ -1,9 +1,11 @@
 #include "serve/model_io.h"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -436,6 +438,114 @@ void write_lumos5g_payload(Writer& w, const core::Lumos5G& m) {
   }
 }
 
+// --- seq2seq payload ------------------------------------------------------
+
+void write_seq2seq_config(Writer& w, const nn::Seq2SeqConfig& c) {
+  w.u64(c.input_dim);
+  w.u64(c.hidden);
+  w.u64(c.layers);
+  w.u64(c.seq_len);
+  w.u64(c.out_len);
+  w.u64(c.epochs);
+  w.u64(c.batch_size);
+  w.f64(c.lr);
+  w.f64(c.clip_norm);
+  w.u64(c.seed);
+  w.boolean(c.verbose);
+}
+
+nn::Seq2SeqConfig read_seq2seq_config(Reader& r) {
+  nn::Seq2SeqConfig c;
+  c.input_dim = static_cast<std::size_t>(r.u64());
+  c.hidden = static_cast<std::size_t>(r.u64());
+  c.layers = static_cast<std::size_t>(r.u64());
+  c.seq_len = static_cast<std::size_t>(r.u64());
+  c.out_len = static_cast<std::size_t>(r.u64());
+  c.epochs = static_cast<std::size_t>(r.u64());
+  c.batch_size = static_cast<std::size_t>(r.u64());
+  c.lr = r.f64();
+  c.clip_norm = r.f64();
+  c.seed = r.u64();
+  c.verbose = r.boolean();
+  return c;
+}
+
+/// a*b, saturating at uint64 max instead of wrapping — used to bound a
+/// crafted config's parameter volume before any allocation happens.
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+/// Number of doubles a Seq2Seq of this config carries. Mirrors the
+/// construction in Seq2Seq's ctor: per LSTM cell wx (4H x in), wh (4H x H),
+/// b (1 x 4H); encoder layer 0 reads input_dim, decoder layer 0 reads the
+/// scalar token, deeper layers read H; head is (1 x H) + (1 x 1).
+std::uint64_t seq2seq_param_count(const nn::Seq2SeqConfig& c) noexcept {
+  const std::uint64_t h4 = sat_mul(4, c.hidden);
+  std::uint64_t total = 0;
+  const auto cell = [&](std::uint64_t in_dim) {
+    total = total + sat_mul(h4, in_dim);  // wx
+    total = total + sat_mul(h4, c.hidden);  // wh
+    total = total + h4;  // b
+  };
+  for (std::size_t l = 0; l < c.layers; ++l) {
+    cell(l == 0 ? c.input_dim : c.hidden);
+    cell(l == 0 ? 1 : c.hidden);
+    if (total == std::numeric_limits<std::uint64_t>::max()) break;
+  }
+  return total + c.hidden + 1;  // head weight + bias
+}
+
+void write_seq2seq_payload(Writer& w, const nn::Seq2Seq& m) {
+  write_seq2seq_config(w, m.config());
+  const auto matrices = m.parameter_matrices();
+  w.u64(matrices.size());
+  for (const nn::Matrix* mat : matrices) {
+    w.u64(mat->rows());
+    w.u64(mat->cols());
+    for (std::size_t i = 0; i < mat->size(); ++i) w.f64(mat->data()[i]);
+  }
+}
+
+Expected<nn::Seq2Seq> read_seq2seq_payload(Reader& r) {
+  const nn::Seq2SeqConfig cfg = read_seq2seq_config(r);
+  if (!r.ok()) return parse_error("malformed seq2seq config block");
+  // The Seq2Seq ctor refuses zero dimensions (by throwing, which the serve
+  // layer never does on the query path) — reject before constructing. Also
+  // bound the parameter volume a crafted config implies against the bytes
+  // actually present, so a hash-valid but hand-built artifact cannot drive
+  // a multi-gigabyte allocation.
+  if (cfg.input_dim == 0 || cfg.hidden == 0 || cfg.layers == 0 ||
+      cfg.seq_len == 0 || cfg.out_len == 0) {
+    return parse_error("seq2seq config has a zero dimension");
+  }
+  if (seq2seq_param_count(cfg) > r.remaining() / 8) {
+    return parse_error(
+        "seq2seq config implies more parameters than the payload holds");
+  }
+  nn::Seq2Seq model(cfg);
+  const auto matrices = model.parameter_matrices();
+  const std::size_t stored = r.count(8 + 8);
+  if (!r.ok() || stored != matrices.size()) {
+    return parse_error("stored matrix count disagrees with the network "
+                       "derived from the stored config");
+  }
+  for (nn::Matrix* mat : matrices) {
+    const auto rows = static_cast<std::size_t>(r.u64());
+    const auto cols = static_cast<std::size_t>(r.u64());
+    if (!r.ok() || rows != mat->rows() || cols != mat->cols()) {
+      return parse_error("stored matrix shape disagrees with the network "
+                         "derived from the stored config");
+    }
+    for (std::size_t i = 0; i < mat->size(); ++i) mat->data()[i] = r.f64();
+  }
+  if (!r.done()) return parse_error("malformed seq2seq payload");
+  return model;
+}
+
 // ---------------------------------------------------------------------------
 // Envelope: header + hash around a payload.
 // ---------------------------------------------------------------------------
@@ -499,7 +609,7 @@ Expected<std::string_view> check_envelope(std::string_view bytes,
                  "partial write)"};
   }
   if (kind != static_cast<std::uint8_t>(expected)) {
-    if (kind > static_cast<std::uint8_t>(ModelKind::kLumos5G)) {
+    if (kind > kMaxKindTag) {
       return parse_error("unknown model kind tag " + std::to_string(kind));
     }
     return parse_error(
@@ -519,6 +629,7 @@ const char* to_string(ModelKind k) noexcept {
     case ModelKind::kForestRegressor: return "forest_regressor";
     case ModelKind::kForestClassifier: return "forest_classifier";
     case ModelKind::kLumos5G: return "lumos5g";
+    case ModelKind::kSeq2Seq: return "seq2seq";
   }
   return "?";
 }
@@ -551,6 +662,12 @@ std::string save_bytes(const core::Lumos5G& model) {
   Writer w;
   write_lumos5g_payload(w, model);
   return finalize(ModelKind::kLumos5G, w.view());
+}
+
+std::string save_bytes(const nn::Seq2Seq& model) {
+  Writer w;
+  write_seq2seq_payload(w, model);
+  return finalize(ModelKind::kSeq2Seq, w.view());
 }
 
 Expected<ml::GbdtRegressor> load_gbdt_regressor(std::string_view bytes) {
@@ -632,6 +749,13 @@ Expected<core::Lumos5G> load_lumos5g(std::string_view bytes) {
   return model;
 }
 
+Expected<nn::Seq2Seq> load_seq2seq(std::string_view bytes) {
+  const auto payload = check_envelope(bytes, ModelKind::kSeq2Seq);
+  if (!payload) return payload.error();
+  Reader r(*payload);
+  return read_seq2seq_payload(r);
+}
+
 Expected<ModelKind> peek_kind(std::string_view bytes) {
   if (bytes.size() < kHeaderSize) {
     return Error{ErrorCode::kTruncated,
@@ -650,7 +774,7 @@ Expected<ModelKind> peek_kind(std::string_view bytes) {
                      std::to_string(kFormatVersion)};
   }
   const std::uint8_t kind = header.u8();
-  if (kind > static_cast<std::uint8_t>(ModelKind::kLumos5G)) {
+  if (kind > kMaxKindTag) {
     return parse_error("unknown model kind tag " + std::to_string(kind));
   }
   return static_cast<ModelKind>(kind);
@@ -658,24 +782,34 @@ Expected<ModelKind> peek_kind(std::string_view bytes) {
 
 Expected<void> write_artifact(const std::filesystem::path& path,
                               const std::string& bytes) {
-  const std::filesystem::path tmp = path.string() + ".tmp";
+  // Each writer gets its own temp name: two threads saving to the same
+  // destination must never interleave bytes in a shared ".tmp" file. The
+  // final rename is atomic, so concurrent writers race to whole artifacts,
+  // not to torn ones.
+  static std::atomic<std::uint64_t> temp_serial{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." +
+      std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
+  const auto fail = [&tmp](std::string message) -> Expected<void> {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);  // never leave a temp behind
+    return Error{ErrorCode::kIoError, std::move(message)};
+  };
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      return Error{ErrorCode::kIoError,
-                   "cannot open " + tmp.string() + " for writing"};
+      return fail("cannot open " + tmp.string() + " for writing");
     }
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     if (!out) {
-      return Error{ErrorCode::kIoError, "short write to " + tmp.string()};
+      return fail("short write to " + tmp.string());
     }
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
-    return Error{ErrorCode::kIoError,
-                 "cannot rename " + tmp.string() + " to " + path.string() +
-                     ": " + ec.message()};
+    return fail("cannot rename " + tmp.string() + " to " + path.string() +
+                ": " + ec.message());
   }
   return {};
 }

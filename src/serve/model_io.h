@@ -39,6 +39,7 @@
 #include "core/lumos5g.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
+#include "nn/seq2seq.h"
 
 namespace lumos::serve {
 
@@ -56,7 +57,13 @@ enum class ModelKind : std::uint8_t {
   kForestRegressor = 2,
   kForestClassifier = 3,
   kLumos5G = 4,
+  kSeq2Seq = 5,
 };
+
+/// Highest kind tag this build understands; anything above is rejected
+/// with kParseError instead of being guessed at.
+inline constexpr std::uint8_t kMaxKindTag =
+    static_cast<std::uint8_t>(ModelKind::kSeq2Seq);
 
 [[nodiscard]] const char* to_string(ModelKind k) noexcept;
 
@@ -69,6 +76,7 @@ enum class ModelKind : std::uint8_t {
 [[nodiscard]] std::string save_bytes(const ml::RandomForestRegressor& model);
 [[nodiscard]] std::string save_bytes(const ml::RandomForestClassifier& model);
 [[nodiscard]] std::string save_bytes(const core::Lumos5G& model);
+[[nodiscard]] std::string save_bytes(const nn::Seq2Seq& model);
 
 [[nodiscard]] Expected<ml::GbdtRegressor> load_gbdt_regressor(
     std::string_view bytes);
@@ -79,6 +87,7 @@ enum class ModelKind : std::uint8_t {
 [[nodiscard]] Expected<ml::RandomForestClassifier> load_forest_classifier(
     std::string_view bytes);
 [[nodiscard]] Expected<core::Lumos5G> load_lumos5g(std::string_view bytes);
+[[nodiscard]] Expected<nn::Seq2Seq> load_seq2seq(std::string_view bytes);
 
 /// Kind recorded in an artifact's header, without parsing the payload.
 /// Errors like the loaders on short/invalid headers.

@@ -28,10 +28,12 @@ Expected<Predictor> Predictor::compile(const core::Lumos5G& model) {
 }
 
 Expected<core::Prediction> Predictor::predict(
-    std::span<const data::SampleRecord> recent) const {
+    std::span<const data::SampleRecord> recent, std::size_t min_tier) const {
   // Mirrors Lumos5G::predict tier by tier so a compiled predictor answers
-  // bit-identically to the facade it came from.
-  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+  // bit-identically to the facade it came from. min_tier skips the front
+  // of the chain (overload degradation); the walk below it is unchanged,
+  // so min_tier = 0 stays bit-identical to the facade.
+  for (std::size_t i = min_tier; i < tiers_.size(); ++i) {
     const FlatTier& tier = tiers_[i];
     if (!tier.compiled) continue;
     const auto row = data::feature_row_from_window(recent, specs_[i],
@@ -74,13 +76,27 @@ Expected<core::Prediction> Predictor::predict(
 }
 
 std::vector<Expected<core::Prediction>> Predictor::predict_batch(
-    std::span<const Session> sessions) const {
+    std::span<const Session> sessions, std::size_t min_tier) const {
   std::vector<Expected<core::Prediction>> out(
       sessions.size(),
       Expected<core::Prediction>(Error{ErrorCode::kWindowUnusable, ""}));
   parallel_for(0, sessions.size(), 8, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
-      out[i] = predict(sessions[i].window());
+      out[i] = predict(sessions[i].window(), min_tier);
+    }
+  });
+  return out;
+}
+
+std::vector<Expected<core::Prediction>> Predictor::predict_windows(
+    std::span<const std::vector<data::SampleRecord>> windows,
+    std::size_t min_tier) const {
+  std::vector<Expected<core::Prediction>> out(
+      windows.size(),
+      Expected<core::Prediction>(Error{ErrorCode::kWindowUnusable, ""}));
+  parallel_for(0, windows.size(), 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = predict(windows[i], min_tier);
     }
   });
   return out;

@@ -63,12 +63,20 @@ class Predictor {
 
   /// Predicts from a raw context window (last element = "now"). Tier
   /// walk, feature extraction, and errors mirror Lumos5G::predict.
+  ///
+  /// `min_tier` starts the fallback walk at that tier index instead of 0 —
+  /// the serving loop's overload degradation: under queue pressure the
+  /// server asks for a cheaper tier and the answering tier is still
+  /// reported honestly on Prediction::tier. A `min_tier` at or past the
+  /// chain length leaves only the harmonic tail. min_tier = 0 is exactly
+  /// the facade walk.
   [[nodiscard]] Expected<core::Prediction> predict(
-      std::span<const data::SampleRecord> recent) const;
+      std::span<const data::SampleRecord> recent,
+      std::size_t min_tier = 0) const;
 
   [[nodiscard]] Expected<core::Prediction> predict(
-      const Session& session) const {
-    return predict(session.window());
+      const Session& session, std::size_t min_tier = 0) const {
+    return predict(session.window(), min_tier);
   }
 
   /// Batched prediction: out[i] is sessions[i]'s prediction (or its typed
@@ -76,7 +84,15 @@ class Predictor {
   /// Sessions are chunked over the global thread pool; each writes only
   /// its own slot, so the result is identical at any LUMOS_THREADS.
   [[nodiscard]] std::vector<Expected<core::Prediction>> predict_batch(
-      std::span<const Session> sessions) const;
+      std::span<const Session> sessions, std::size_t min_tier = 0) const;
+
+  /// Same batched walk over raw window snapshots (one per queued request).
+  /// Used by serve::Server, which snapshots each session window at request
+  /// order so a UE appearing twice in one batch sees its own observation
+  /// but not later ones.
+  [[nodiscard]] std::vector<Expected<core::Prediction>> predict_windows(
+      std::span<const std::vector<data::SampleRecord>> windows,
+      std::size_t min_tier = 0) const;
 
   /// The model tier chain (most capable first), as in Lumos5G.
   const std::vector<data::FeatureSetSpec>& tier_specs() const noexcept {

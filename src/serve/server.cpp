@@ -1,0 +1,269 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "serve/model_io.h"
+
+namespace lumos::serve {
+
+Server::Server(Predictor predictor, ServerConfig cfg, Clock& clock)
+    : cfg_(std::move(cfg)), clock_(&clock), predictor_(std::move(predictor)) {
+  // Normalize the config so every depth -> behaviour mapping below is
+  // total and monotone even for adversarial values.
+  cfg_.queue_capacity = std::max<std::size_t>(1, cfg_.queue_capacity);
+  cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
+  cfg_.max_sessions = std::max<std::size_t>(1, cfg_.max_sessions);
+  cfg_.session_capacity = std::max<std::size_t>(1, cfg_.session_capacity);
+  cfg_.reload_max_attempts = std::max<std::size_t>(1, cfg_.reload_max_attempts);
+  cfg_.shed_watermark = std::clamp(cfg_.shed_watermark, 0.0, 1.0);
+  std::sort(cfg_.degrade_watermarks.begin(), cfg_.degrade_watermarks.end());
+  stats_.served_by_tier.assign(predictor_.tier_specs().size() + 1, 0);
+}
+
+Expected<std::uint64_t> Server::submit(const Request& req) {
+  const std::uint64_t now = clock_->now_ms();
+  const std::scoped_lock lock(mu_);
+  if (shutting_down_) {
+    ++stats_.rejected_shutdown;
+    return Error{ErrorCode::kShuttingDown,
+                 "server is draining; no new requests admitted"};
+  }
+  // Shed at the watermark, and unconditionally at the hard capacity bound.
+  const auto shed_at = static_cast<std::size_t>(
+      cfg_.shed_watermark * static_cast<double>(cfg_.queue_capacity));
+  if (queue_.size() >= std::max<std::size_t>(1, shed_at) ||
+      queue_.size() >= cfg_.queue_capacity) {
+    ++stats_.shed;
+    return Error{ErrorCode::kOverloaded,
+                 "queue depth " + std::to_string(queue_.size()) +
+                     " at/above shed watermark (" +
+                     std::to_string(cfg_.shed_watermark) + " of " +
+                     std::to_string(cfg_.queue_capacity) + ")"};
+  }
+  Pending p;
+  p.ticket = next_ticket_++;
+  p.ue_id = req.ue_id;
+  p.enqueued_ms = now;
+  const std::uint64_t budget =
+      req.deadline_ms != 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+  p.expiry_ms = budget != 0 ? now + budget : 0;
+  p.sample = req.sample;
+  queue_.push_back(std::move(p));
+  ++stats_.submitted;
+  stats_.peak_depth = std::max(stats_.peak_depth, queue_.size());
+  return queue_.back().ticket;
+}
+
+void Server::begin_shutdown() {
+  const std::scoped_lock lock(mu_);
+  shutting_down_ = true;
+}
+
+std::size_t Server::queue_depth() const {
+  const std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+bool Server::shutting_down() const {
+  const std::scoped_lock lock(mu_);
+  return shutting_down_;
+}
+
+std::size_t Server::min_tier_for_depth(std::size_t depth) const noexcept {
+  const double occupancy = static_cast<double>(depth) /
+                           static_cast<double>(cfg_.queue_capacity);
+  std::size_t tier = 0;
+  // Watermarks are sorted ascending (constructor), so the count of crossed
+  // watermarks — and with it the tier floor — is monotone in depth.
+  for (const double w : cfg_.degrade_watermarks) {
+    if (occupancy >= w) ++tier;
+  }
+  return std::min(tier, predictor_.tier_specs().size());
+}
+
+Server::SessionEntry& Server::touch_session(std::uint64_t ue,
+                                            std::uint64_t now) {
+  auto it = sessions_.find(ue);
+  if (it == sessions_.end()) {
+    if (sessions_.size() >= cfg_.max_sessions) {
+      // Evict the least-recently-used entry. use_seq_ gives a strict,
+      // clock-independent recency order, so the victim is deterministic
+      // even when many sessions share one coarse timestamp.
+      auto victim = sessions_.begin();
+      for (auto cand = sessions_.begin(); cand != sessions_.end(); ++cand) {
+        if (cand->second.last_used_seq < victim->second.last_used_seq) {
+          victim = cand;
+        }
+      }
+      sessions_.erase(victim);
+      ++stats_.evicted_lru;
+    }
+    it = sessions_.emplace(ue, SessionEntry{Session(cfg_.session_capacity),
+                                            now, 0}).first;
+  }
+  it->second.last_used_ms = now;
+  it->second.last_used_seq = ++use_seq_;
+  return it->second;
+}
+
+void Server::evict_expired_sessions(std::uint64_t now) {
+  if (cfg_.session_ttl_ms == 0) return;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.last_used_ms + cfg_.session_ttl_ms < now) {
+      it = sessions_.erase(it);
+      ++stats_.evicted_ttl;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Response> Server::step() {
+  // 1. Drain up to max_batch requests. The tier floor is derived from the
+  //    depth at the start of the step — the batch about to be served is
+  //    part of the pressure it was admitted under.
+  std::vector<Pending> batch;
+  std::size_t depth_at_start = 0;
+  {
+    const std::scoped_lock lock(mu_);
+    depth_at_start = queue_.size();
+    const std::size_t n = std::min(cfg_.max_batch, queue_.size());
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  const std::size_t min_tier = min_tier_for_depth(depth_at_start);
+  const std::uint64_t now = clock_->now_ms();
+
+  // 2. Expire overdue requests without touching sessions or the model —
+  //    an expired answer is pure waste, so it must cost nothing. Live
+  //    requests update their session and snapshot its window at their
+  //    position in admission order, so a UE submitting twice in one batch
+  //    sees its first observation but not its second.
+  std::vector<Response> out(batch.size());
+  std::vector<std::vector<data::SampleRecord>> windows;
+  std::vector<std::size_t> window_slot;  // windows[j] answers out[window_slot[j]]
+  windows.reserve(batch.size());
+  window_slot.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Pending& p = batch[i];
+    Response& r = out[i];
+    r.ticket = p.ticket;
+    r.ue_id = p.ue_id;
+    r.enqueued_ms = p.enqueued_ms;
+    r.served_ms = now;
+    r.min_tier = min_tier;
+    if (p.expiry_ms != 0 && now > p.expiry_ms) {
+      r.result = Error{ErrorCode::kDeadlineExceeded,
+                       "request waited " + std::to_string(now - p.enqueued_ms) +
+                           " ms, past its deadline"};
+      ++stats_.deadline_expired;
+      continue;
+    }
+    SessionEntry& entry = touch_session(p.ue_id, now);
+    entry.session.observe(p.sample);
+    const auto w = entry.session.window();
+    windows.emplace_back(w.begin(), w.end());
+    window_slot.push_back(i);
+  }
+
+  // 3. One batched walk over the thread pool; each slot is written once,
+  //    so the result is bit-identical at any LUMOS_THREADS.
+  auto predictions = predictor_.predict_windows(windows, min_tier);
+  for (std::size_t j = 0; j < predictions.size(); ++j) {
+    Response& r = out[window_slot[j]];
+    if (predictions[j].has_value()) {
+      const auto tier = static_cast<std::size_t>(predictions[j]->tier);
+      if (tier < stats_.served_by_tier.size()) ++stats_.served_by_tier[tier];
+      ++stats_.served;
+    } else {
+      ++stats_.failed;
+    }
+    r.result = std::move(predictions[j]);
+  }
+
+  // 4. Idle-session TTL sweep against the same `now` the batch saw.
+  evict_expired_sessions(now);
+  return out;
+}
+
+std::vector<Response> Server::drain() {
+  std::vector<Response> all;
+  while (queue_depth() > 0) {
+    auto batch = step();
+    all.insert(all.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  return all;
+}
+
+Expected<void> Server::reload_bytes(std::string_view bytes) {
+  ++stats_.reload_attempts;
+  // Validate fully on the side: envelope hash, payload parse, tier-chain
+  // compile. The serving predictor_ is untouched until the very last move,
+  // so a request between steps can never observe a half-loaded model.
+  auto model = load_lumos5g(bytes);
+  if (!model) {
+    ++stats_.reloads_failed;
+    return Error{model.error().code,
+                 "reload rolled back (still serving generation " +
+                     std::to_string(generation_) + "): " +
+                     model.error().message};
+  }
+  auto compiled = Predictor::compile(*model);
+  if (!compiled) {
+    ++stats_.reloads_failed;
+    return Error{compiled.error().code,
+                 "reload rolled back (still serving generation " +
+                     std::to_string(generation_) + "): " +
+                     compiled.error().message};
+  }
+  if (compiled->tier_specs().size() != predictor_.tier_specs().size()) {
+    // A different tier chain re-shapes the per-tier stats; keep the
+    // counters coherent across the swap.
+    stats_.served_by_tier.assign(compiled->tier_specs().size() + 1, 0);
+  }
+  predictor_ = std::move(*compiled);
+  ++generation_;
+  ++stats_.reloads_ok;
+  return {};
+}
+
+Expected<void> Server::reload(const std::filesystem::path& path) {
+  std::uint64_t backoff = std::max<std::uint64_t>(1, cfg_.reload_backoff_ms);
+  Error last{ErrorCode::kIoError, "reload never attempted"};
+  for (std::size_t attempt = 0; attempt < cfg_.reload_max_attempts; ++attempt) {
+    if (attempt > 0) {
+      clock_->sleep_ms(backoff);
+      backoff *= 2;
+    }
+    auto bytes = read_artifact(path);
+    if (!bytes) {
+      // Transient by assumption (file momentarily absent mid-publish, EIO
+      // blip): worth the bounded backoff-retry loop.
+      ++stats_.reload_attempts;
+      last = bytes.error();
+      continue;
+    }
+    auto swapped = reload_bytes(*bytes);
+    if (swapped) return swapped;
+    last = swapped.error();
+    if (last.code != ErrorCode::kIoError) {
+      // Validation failure: the artifact itself is bad, retrying the same
+      // bytes cannot help. reload_bytes already rolled back.
+      return last;
+    }
+  }
+  ++stats_.reloads_failed;
+  return Error{last.code,
+               "reload gave up after " +
+                   std::to_string(cfg_.reload_max_attempts) +
+                   " attempts (still serving generation " +
+                   std::to_string(generation_) + "): " + last.message};
+}
+
+}  // namespace lumos::serve

@@ -12,10 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/lumos5g.h"
 #include "data/features.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
+#include "nn/seq2seq.h"
 #include "serve/flat_model.h"
 #include "serve/model_io.h"
 #include "serve/predictor.h"
@@ -461,6 +463,184 @@ TEST(Predictor, BatchMatchesIndividual) {
     EXPECT_EQ(batch[i]->throughput_class, single->throughput_class);
     EXPECT_EQ(batch[i]->tier, single->tier);
   }
+}
+
+// ---------- seq2seq artifacts ----------
+
+nn::Seq2SeqConfig small_s2s() {
+  nn::Seq2SeqConfig cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = 8;
+  cfg.layers = 2;
+  cfg.seq_len = 6;
+  cfg.out_len = 3;
+  cfg.epochs = 3;
+  cfg.batch_size = 8;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// A small fitted Seq2Seq on synthetic sinusoid sequences, shared.
+const nn::Seq2Seq& s2s() {
+  static const nn::Seq2Seq* m = [] {
+    const nn::Seq2SeqConfig cfg = small_s2s();
+    auto* net = new nn::Seq2Seq(cfg);
+    std::vector<nn::SeqSample> samples;
+    for (std::size_t i = 0; i < 32; ++i) {
+      nn::SeqSample s;
+      for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+        const double ph = 0.31 * static_cast<double>(i + t);
+        s.x.push_back(std::sin(ph));
+        s.x.push_back(std::cos(0.5 * ph));
+      }
+      for (std::size_t k = 0; k < cfg.out_len; ++k) {
+        s.y.push_back(
+            std::sin(0.31 * static_cast<double>(i + cfg.seq_len + k)));
+      }
+      samples.push_back(std::move(s));
+    }
+    net->fit(samples);
+    return net;
+  }();
+  return *m;
+}
+
+std::vector<std::vector<double>> s2s_windows() {
+  const nn::Seq2SeqConfig cfg = small_s2s();
+  std::vector<std::vector<double>> windows;
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::vector<double> w;
+    for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+      const double ph = 0.11 * static_cast<double>(3 * i + t);
+      w.push_back(std::sin(ph));
+      w.push_back(std::cos(0.5 * ph));
+    }
+    windows.push_back(std::move(w));
+  }
+  return windows;
+}
+
+TEST(ModelIo, Seq2SeqSaveDeterministicAndPeekable) {
+  const std::string a = save_bytes(s2s());
+  const std::string b = save_bytes(s2s());
+  EXPECT_EQ(a, b);
+  const auto kind = peek_kind(a);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, ModelKind::kSeq2Seq);
+}
+
+TEST(ModelIo, Seq2SeqRoundTripBitIdentical) {
+  const auto loaded = load_seq2seq(save_bytes(s2s()));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->config().hidden, s2s().config().hidden);
+  for (const auto& w : s2s_windows()) {
+    const auto ya = s2s().predict(w);
+    const auto yb = loaded->predict(w);
+    ASSERT_EQ(ya.size(), yb.size());
+    for (std::size_t k = 0; k < ya.size(); ++k) {
+      ASSERT_EQ(bits(ya[k]), bits(yb[k])) << "step " << k;
+    }
+  }
+}
+
+TEST(ModelIo, Seq2SeqEveryTruncationIsTypedTruncated) {
+  const std::string full = save_bytes(s2s());
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n < 32 && n < full.size(); ++n) lengths.push_back(n);
+  const std::size_t stride = std::max<std::size_t>(1, full.size() / 64);
+  for (std::size_t n = 32; n < full.size(); n += stride) lengths.push_back(n);
+  lengths.push_back(full.size() - 1);
+  for (const std::size_t n : lengths) {
+    const auto r = load_seq2seq(full.substr(0, n));
+    ASSERT_FALSE(r.has_value()) << "prefix length " << n;
+    EXPECT_EQ(r.error().code, ErrorCode::kTruncated) << "prefix length " << n;
+  }
+}
+
+TEST(ModelIo, Seq2SeqBitFlipsAreTypedNeverUb) {
+  const std::string full = save_bytes(s2s());
+  const std::size_t stride = std::max<std::size_t>(1, full.size() / 96);
+  for (std::size_t pos = 0; pos < full.size(); pos += stride) {
+    for (const int bit : {0, 7}) {
+      std::string damaged = full;
+      damaged[pos] = static_cast<char>(
+          static_cast<unsigned char>(damaged[pos]) ^ (1u << bit));
+      const auto r = load_seq2seq(damaged);
+      ASSERT_FALSE(r.has_value()) << "byte " << pos << " bit " << bit;
+      const auto code = r.error().code;
+      EXPECT_TRUE(code == ErrorCode::kBadMagic ||
+                  code == ErrorCode::kVersionMismatch ||
+                  code == ErrorCode::kTruncated ||
+                  code == ErrorCode::kCorrupt || code == ErrorCode::kParseError)
+          << "byte " << pos << " bit " << bit << " -> " << to_string(code);
+    }
+  }
+}
+
+TEST(ModelIo, Seq2SeqWrongKindRejected) {
+  const auto as_gbdt = load_gbdt_regressor(save_bytes(s2s()));
+  ASSERT_FALSE(as_gbdt.has_value());
+  EXPECT_EQ(as_gbdt.error().code, ErrorCode::kParseError);
+  const auto as_s2s = load_seq2seq(save_bytes(gbdt_reg()));
+  ASSERT_FALSE(as_s2s.has_value());
+  EXPECT_EQ(as_s2s.error().code, ErrorCode::kParseError);
+}
+
+// ---------- write_artifact hygiene ----------
+
+/// Number of "<stem>.tmp.*" siblings of `path` — write_artifact must never
+/// leave one behind, success or failure.
+std::size_t count_temp_files(const std::filesystem::path& path) {
+  const std::string prefix = path.filename().string() + ".tmp.";
+  std::size_t n = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator(path.parent_path())) {
+    if (e.path().filename().string().rfind(prefix, 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(ModelIo, WriteArtifactCleansTempOnRenameFailure) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "lumos_test_serve_write_hygiene";
+  std::filesystem::create_directories(dir / "occupied");
+  // The destination is an existing directory: the temp write succeeds but
+  // the rename over a directory cannot, so the error path must run and
+  // must take the temp file with it.
+  const auto r = write_artifact(dir / "occupied", "payload");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kIoError);
+  EXPECT_EQ(count_temp_files(dir / "occupied"), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelIo, RacingWritersProduceWholeArtifacts) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "lumos_test_serve_write_race";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "model.l5gm";
+  const std::string a = save_bytes(gbdt_reg());
+  const std::string b = save_bytes(rf_reg());
+  ASSERT_NE(a, b);
+
+  // Two pool threads race full write->rename cycles at the same
+  // destination. Whatever the interleaving, the destination must always
+  // hold one writer's bytes in full — never a torn mix — and no temp file
+  // may survive.
+  ThreadPool pool(2);
+  for (int round = 0; round < 16; ++round) {
+    pool.parallel_for(0, 2, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto w = write_artifact(path, i == 0 ? a : b);
+        EXPECT_TRUE(w.has_value());
+      }
+    });
+    const auto got = read_artifact(path);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(*got == a || *got == b) << "torn artifact on round " << round;
+    EXPECT_EQ(count_temp_files(path), 0u) << "round " << round;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Session, RollingWindowDropsOldest) {

@@ -1,0 +1,537 @@
+// Tests for serve::Server — the resilient long-running serving loop.
+// Covers admission control (watermark shed, hard cap, shutdown), deadline
+// expiry, watermark-driven tier degradation, deterministic session
+// eviction (LRU + TTL), and hot reload with rollback. The two load-bearing
+// bit-identity invariants: a UE's predictions are unchanged by eviction of
+// an *unrelated* session, and unchanged across a hot reload of an
+// identical artifact. Both must hold at any LUMOS_THREADS (the suite runs
+// pinned to 1 and 8 from CMake).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/lumos5g.h"
+#include "data/features.h"
+#include "serve/model_io.h"
+#include "serve/predictor.h"
+#include "serve/server.h"
+#include "sim/areas.h"
+
+namespace lumos::serve {
+namespace {
+
+std::uint64_t bits(double x) noexcept { return std::bit_cast<std::uint64_t>(x); }
+
+const data::Dataset& airport_ds() {
+  static const data::Dataset ds = [] {
+    const sim::Area area = sim::make_airport();
+    return sim::collect_area_dataset(area, /*walk_runs=*/6, 0, 4242);
+  }();
+  return ds;
+}
+
+const core::Lumos5G& facade() {
+  static const core::Lumos5G* m = [] {
+    core::Lumos5GConfig cfg;
+    cfg.feature_spec = data::FeatureSetSpec::parse("T+M+C");
+    cfg.gbdt.n_estimators = 40;
+    cfg.gbdt.max_depth = 5;
+    auto* f = new core::Lumos5G(cfg);
+    const auto ok = f->train(airport_ds());
+    EXPECT_TRUE(ok.has_value());
+    return f;
+  }();
+  return *m;
+}
+
+Predictor make_predictor() {
+  auto compiled = Predictor::compile(facade());
+  EXPECT_TRUE(compiled.has_value());
+  return std::move(*compiled);
+}
+
+/// `n` consecutive full-context samples from one walk run.
+std::vector<data::SampleRecord> run_samples(std::size_t run_idx, std::size_t n,
+                                            std::size_t offset = 10) {
+  const auto& ds = airport_ds();
+  const auto runs = ds.runs();
+  EXPECT_LT(run_idx, runs.size());
+  const auto& run = runs[run_idx];
+  EXPECT_LE(offset + n, run.size());
+  std::vector<data::SampleRecord> out;
+  out.reserve(n);
+  for (std::size_t i = offset; i < offset + n; ++i) out.push_back(ds[run[i]]);
+  return out;
+}
+
+/// Submits one request and serves it immediately (no queue pressure).
+Response serve_one(Server& server, std::uint64_t ue,
+                   const data::SampleRecord& sample) {
+  const auto ticket = server.submit({ue, sample, 0});
+  EXPECT_TRUE(ticket.has_value());
+  auto out = server.step();
+  EXPECT_EQ(out.size(), 1u);
+  return std::move(out.front());
+}
+
+void expect_same_result(const Expected<core::Prediction>& a,
+                        const Expected<core::Prediction>& b) {
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (!a.has_value()) {
+    EXPECT_EQ(a.error().code, b.error().code);
+    return;
+  }
+  EXPECT_EQ(bits(a->throughput_mbps), bits(b->throughput_mbps));
+  EXPECT_EQ(a->throughput_class, b->throughput_class);
+  EXPECT_EQ(a->tier, b->tier);
+  EXPECT_EQ(a->feature_group, b->feature_group);
+}
+
+// ---------- admission + basic serving ----------
+
+TEST(Server, ServesLikeDirectPredictorBitwise) {
+  ManualClock clock;
+  Server server(make_predictor(), ServerConfig{}, clock);
+  const Predictor direct = make_predictor();
+  Session shadow(ServerConfig{}.session_capacity);
+
+  for (const auto& s : run_samples(0, 12)) {
+    const Response r = serve_one(server, 1, s);
+    shadow.observe(s);
+    expect_same_result(r.result, direct.predict(shadow));
+    clock.advance_ms(1000);
+  }
+  EXPECT_EQ(server.stats().submitted, 12u);
+  EXPECT_EQ(server.stats().served + server.stats().failed, 12u);
+}
+
+TEST(Server, TicketsAreMonotone) {
+  ManualClock clock;
+  Server server(make_predictor(), ServerConfig{}, clock);
+  const auto samples = run_samples(0, 4);
+  std::uint64_t prev = 0;
+  for (const auto& s : samples) {
+    const auto t = server.submit({1, s, 0});
+    ASSERT_TRUE(t.has_value());
+    EXPECT_GT(*t, prev);
+    prev = *t;
+  }
+  EXPECT_EQ(server.drain().size(), samples.size());
+}
+
+TEST(Server, OverloadShedsAtWatermarkTyped) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.queue_capacity = 10;
+  cfg.shed_watermark = 0.5;
+  Server server(make_predictor(), cfg, clock);
+  const auto samples = run_samples(0, 1);
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(server.submit({1, samples[0], 0}).has_value()) << i;
+  }
+  const auto shed = server.submit({1, samples[0], 0});
+  ASSERT_FALSE(shed.has_value());
+  EXPECT_EQ(shed.error().code, ErrorCode::kOverloaded);
+  EXPECT_EQ(server.stats().shed, 1u);
+  EXPECT_EQ(server.stats().submitted, 5u);
+  EXPECT_EQ(server.stats().peak_depth, 5u);
+
+  // Serving drains the queue; admission reopens below the watermark.
+  server.drain();
+  EXPECT_TRUE(server.submit({1, samples[0], 0}).has_value());
+}
+
+TEST(Server, WatermarkOneShedsOnlyWhenFull) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.shed_watermark = 1.0;
+  Server server(make_predictor(), cfg, clock);
+  const auto samples = run_samples(0, 1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(server.submit({1, samples[0], 0}).has_value()) << i;
+  }
+  const auto full = server.submit({1, samples[0], 0});
+  ASSERT_FALSE(full.has_value());
+  EXPECT_EQ(full.error().code, ErrorCode::kOverloaded);
+}
+
+TEST(Server, ShutdownRejectsNewButDrainsQueued) {
+  ManualClock clock;
+  Server server(make_predictor(), ServerConfig{}, clock);
+  const auto samples = run_samples(0, 3);
+  for (const auto& s : samples) {
+    ASSERT_TRUE(server.submit({1, s, 0}).has_value());
+  }
+  server.begin_shutdown();
+  EXPECT_TRUE(server.shutting_down());
+  const auto rejected = server.submit({1, samples[0], 0});
+  ASSERT_FALSE(rejected.has_value());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kShuttingDown);
+  EXPECT_EQ(server.stats().rejected_shutdown, 1u);
+
+  const auto out = server.drain();
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST(Server, BatchedSameUeMatchesSequentialBitwise) {
+  // A UE submitting twice into one batch must see exactly the windows it
+  // would have seen submitting one step at a time.
+  const auto samples = run_samples(0, 10);
+  ManualClock c1, c2;
+  Server batched(make_predictor(), ServerConfig{}, c1);
+  Server sequential(make_predictor(), ServerConfig{}, c2);
+
+  std::vector<Response> seq_out;
+  for (const auto& s : samples) {
+    ASSERT_TRUE(batched.submit({7, s, 0}).has_value());
+    seq_out.push_back(serve_one(sequential, 7, s));
+  }
+  const auto batch_out = batched.step();  // one batch, all ten requests
+  ASSERT_EQ(batch_out.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    expect_same_result(batch_out[i].result, seq_out[i].result);
+  }
+}
+
+// ---------- deadlines ----------
+
+TEST(Server, ExpiredRequestsAreTypedAndCostNoModelWork) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.default_deadline_ms = 100;
+  Server server(make_predictor(), cfg, clock);
+  for (const auto& s : run_samples(0, 3)) {
+    ASSERT_TRUE(server.submit({1, s, 0}).has_value());
+  }
+  clock.advance_ms(200);  // all three now past their budget
+  const auto out = server.step();
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& r : out) {
+    ASSERT_FALSE(r.result.has_value());
+    EXPECT_EQ(r.result.error().code, ErrorCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(server.stats().deadline_expired, 3u);
+  EXPECT_EQ(server.stats().served, 0u);
+  // No session was created for the expired UE: expiry costs nothing.
+  EXPECT_EQ(server.n_sessions(), 0u);
+}
+
+TEST(Server, PerRequestDeadlineOverridesDefault) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.default_deadline_ms = 10'000;
+  Server server(make_predictor(), cfg, clock);
+  const auto samples = run_samples(0, 2);
+  ASSERT_TRUE(server.submit({1, samples[0], 50}).has_value());   // tight
+  ASSERT_TRUE(server.submit({2, samples[1], 0}).has_value());    // default
+  clock.advance_ms(100);
+  const auto out = server.step();
+  ASSERT_EQ(out.size(), 2u);
+  ASSERT_FALSE(out[0].result.has_value());
+  EXPECT_EQ(out[0].result.error().code, ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(out[1].result.has_value() ||
+              out[1].result.error().code != ErrorCode::kDeadlineExceeded);
+}
+
+TEST(Server, ZeroDeadlineNeverExpires) {
+  ManualClock clock;
+  Server server(make_predictor(), ServerConfig{}, clock);  // default 0
+  ASSERT_TRUE(server.submit({1, run_samples(0, 1)[0], 0}).has_value());
+  clock.advance_ms(1'000'000'000);
+  const auto out = server.step();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].result.has_value() ||
+              out[0].result.error().code != ErrorCode::kDeadlineExceeded);
+}
+
+// ---------- watermark degradation ----------
+
+TEST(Server, MinTierForDepthIsMonotone) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.queue_capacity = 100;
+  cfg.degrade_watermarks = {0.85, 0.50, 0.70};  // deliberately unsorted
+  Server server(make_predictor(), cfg, clock);
+
+  EXPECT_EQ(server.min_tier_for_depth(0), 0u);
+  std::size_t prev = 0;
+  for (std::size_t d = 0; d <= cfg.queue_capacity; ++d) {
+    const std::size_t t = server.min_tier_for_depth(d);
+    EXPECT_GE(t, prev) << "depth " << d;
+    EXPECT_LE(t, server.predictor().tier_specs().size());
+    prev = t;
+  }
+  EXPECT_EQ(server.min_tier_for_depth(49), 0u);
+  EXPECT_EQ(server.min_tier_for_depth(50), 1u);
+  EXPECT_EQ(server.min_tier_for_depth(70), 2u);
+  EXPECT_EQ(server.min_tier_for_depth(85),
+            std::min<std::size_t>(3, server.predictor().tier_specs().size()));
+}
+
+TEST(Server, PressureDegradesServedTierHonestly) {
+  const auto warm = run_samples(0, 8);
+  const auto extra = run_samples(0, 4, 18);
+
+  // Control: no pressure — full-context window answers from tier 0.
+  ManualClock c1;
+  ServerConfig cfg;
+  cfg.queue_capacity = 8;
+  cfg.degrade_watermarks = {0.25};
+  cfg.shed_watermark = 1.0;
+  Server control(make_predictor(), cfg, c1);
+  for (const auto& s : warm) serve_one(control, 1, s);
+  const Response calm = serve_one(control, 1, extra[0]);
+  ASSERT_TRUE(calm.result.has_value());
+  ASSERT_EQ(calm.result->tier, 0);
+  EXPECT_EQ(calm.min_tier, 0u);
+
+  // Pressured: same warm window, but four requests queued at once crosses
+  // the 0.25 watermark -> the whole batch is served with min_tier >= 1 and
+  // the responses report the degraded tier honestly.
+  ManualClock c2;
+  Server pressured(make_predictor(), cfg, c2);
+  for (const auto& s : warm) serve_one(pressured, 1, s);
+  const std::uint64_t tier0_after_warm = pressured.stats().served_by_tier[0];
+  for (const auto& s : extra) {
+    ASSERT_TRUE(pressured.submit({1, s, 0}).has_value());
+  }
+  const auto out = pressured.step();
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& r : out) {
+    EXPECT_GE(r.min_tier, 1u);
+    if (r.result.has_value()) {
+      EXPECT_GE(r.result->tier, 1);
+    }
+  }
+  // Nothing in the pressured batch was answered from tier 0.
+  EXPECT_EQ(pressured.stats().served_by_tier[0], tier0_after_warm);
+}
+
+// ---------- session lifecycle ----------
+
+TEST(Server, UnrelatedEvictionPreservesBitIdentity) {
+  // UE A's predictions must be bit-identical whether or not an unrelated
+  // UE B ever existed, got evicted, or was rebuilt. Server `with_b`
+  // interleaves B traffic and then LRU-evicts B via fresh UEs; A's answer
+  // stream must not move by a bit.
+  const auto a_samples = run_samples(0, 12);
+  const auto b_samples = run_samples(1, 6);
+
+  ManualClock c1, c2;
+  ServerConfig cfg;
+  cfg.max_sessions = 3;
+  Server alone(make_predictor(), cfg, c1);
+  Server with_b(make_predictor(), cfg, c2);
+
+  std::vector<Response> a_alone, a_with_b;
+  for (std::size_t i = 0; i < a_samples.size(); ++i) {
+    a_alone.push_back(serve_one(alone, 1, a_samples[i]));
+    if (i < b_samples.size()) serve_one(with_b, 2, b_samples[i]);
+    a_with_b.push_back(serve_one(with_b, 1, a_samples[i]));
+    if (i == 7) {
+      // Two fresh UEs: the 3-session LRU evicts B (A was touched later).
+      serve_one(with_b, 30, b_samples[0]);
+      serve_one(with_b, 31, b_samples[1]);
+      EXPECT_GE(with_b.stats().evicted_lru, 1u);
+    }
+  }
+  ASSERT_EQ(a_alone.size(), a_with_b.size());
+  for (std::size_t i = 0; i < a_alone.size(); ++i) {
+    expect_same_result(a_alone[i].result, a_with_b[i].result);
+  }
+}
+
+TEST(Server, LruEvictionIsDeterministicAndRebuildsTransparently) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.max_sessions = 2;
+  Server server(make_predictor(), cfg, clock);
+  const auto samples = run_samples(0, 6);
+
+  serve_one(server, 1, samples[0]);  // A
+  serve_one(server, 2, samples[1]);  // B (A is now least recent)
+  EXPECT_EQ(server.n_sessions(), 2u);
+  serve_one(server, 3, samples[2]);  // C arrives -> A evicted
+  EXPECT_EQ(server.n_sessions(), 2u);
+  EXPECT_EQ(server.stats().evicted_lru, 1u);
+
+  // A comes back: a fresh session is built transparently — the request is
+  // answered (possibly from a lower tier), never an error about eviction.
+  const Response r = serve_one(server, 1, samples[3]);
+  EXPECT_EQ(server.stats().evicted_lru, 2u);  // B was the next victim
+  EXPECT_TRUE(r.result.has_value() ||
+              r.result.error().code == ErrorCode::kWindowUnusable);
+}
+
+TEST(Server, TtlEvictsIdleSessions) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.session_ttl_ms = 1000;
+  Server server(make_predictor(), cfg, clock);
+  const auto samples = run_samples(0, 2);
+
+  serve_one(server, 1, samples[0]);
+  EXPECT_EQ(server.n_sessions(), 1u);
+  clock.advance_ms(5000);
+  serve_one(server, 2, samples[1]);  // the step's sweep reaps idle UE 1
+  EXPECT_EQ(server.n_sessions(), 1u);
+  EXPECT_EQ(server.stats().evicted_ttl, 1u);
+}
+
+// ---------- hot reload ----------
+
+TEST(Server, ReloadIdenticalArtifactPreservesBitIdentity) {
+  const auto samples = run_samples(0, 12);
+  ManualClock c1, c2;
+  Server control(make_predictor(), ServerConfig{}, c1);
+  Server reloaded(make_predictor(), ServerConfig{}, c2);
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i == 6) {
+      const auto swapped = reloaded.reload_bytes(save_bytes(facade()));
+      ASSERT_TRUE(swapped.has_value()) << swapped.error().message;
+      EXPECT_EQ(reloaded.model_generation(), 2u);
+      EXPECT_EQ(reloaded.stats().reloads_ok, 1u);
+    }
+    expect_same_result(serve_one(control, 1, samples[i]).result,
+                       serve_one(reloaded, 1, samples[i]).result);
+  }
+}
+
+TEST(Server, ReloadRollsBackOnCorruptArtifact) {
+  const auto samples = run_samples(0, 10);
+  ManualClock c1, c2;
+  Server control(make_predictor(), ServerConfig{}, c1);
+  Server server(make_predictor(), ServerConfig{}, c2);
+
+  std::string damaged = save_bytes(facade());
+  damaged[damaged.size() / 2] =
+      static_cast<char>(static_cast<unsigned char>(damaged[damaged.size() / 2]) ^
+                        0x40);
+
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i == 5) {
+      const auto swapped = server.reload_bytes(damaged);
+      ASSERT_FALSE(swapped.has_value());
+      EXPECT_EQ(swapped.error().code, ErrorCode::kCorrupt);
+      EXPECT_NE(swapped.error().message.find("rolled back"),
+                std::string::npos);
+      EXPECT_EQ(server.model_generation(), 1u);
+      EXPECT_EQ(server.stats().reloads_failed, 1u);
+    }
+    // The failed reload must be invisible to the request stream.
+    expect_same_result(serve_one(control, 1, samples[i]).result,
+                       serve_one(server, 1, samples[i]).result);
+  }
+}
+
+TEST(Server, ReloadRollsBackOnTruncatedArtifact) {
+  ManualClock clock;
+  Server server(make_predictor(), ServerConfig{}, clock);
+  const std::string full = save_bytes(facade());
+  const auto swapped = server.reload_bytes(full.substr(0, full.size() / 2));
+  ASSERT_FALSE(swapped.has_value());
+  EXPECT_EQ(swapped.error().code, ErrorCode::kTruncated);
+  EXPECT_EQ(server.model_generation(), 1u);
+}
+
+TEST(Server, ReloadRetriesTransientIoWithBackoffThenGivesUp) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.reload_max_attempts = 3;
+  cfg.reload_backoff_ms = 10;
+  Server server(make_predictor(), cfg, clock);
+
+  const std::uint64_t t0 = clock.now_ms();
+  const auto r = server.reload("/nonexistent/lumos/model.l5gm");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kIoError);
+  EXPECT_NE(r.error().message.find("gave up after 3"), std::string::npos);
+  // Exponential backoff between attempts: 10 + 20 ms slept on the clock.
+  EXPECT_EQ(clock.now_ms() - t0, 30u);
+  EXPECT_EQ(server.stats().reload_attempts, 3u);
+  EXPECT_EQ(server.model_generation(), 1u);
+}
+
+TEST(Server, ReloadValidationFailureDoesNotRetry) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.reload_max_attempts = 5;
+  cfg.reload_backoff_ms = 10;
+  Server server(make_predictor(), cfg, clock);
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "lumos_test_server_reload";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "bad.l5gm";
+  std::string damaged = save_bytes(facade());
+  damaged[damaged.size() - 1] = static_cast<char>(
+      static_cast<unsigned char>(damaged[damaged.size() - 1]) ^ 0x01);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
+  }
+
+  const std::uint64_t t0 = clock.now_ms();
+  const auto r = server.reload(path);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ErrorCode::kCorrupt);
+  // Retrying identical bytes cannot help: exactly one attempt, no backoff.
+  EXPECT_EQ(server.stats().reload_attempts, 1u);
+  EXPECT_EQ(clock.now_ms(), t0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Server, ReloadFromFileSwapsAndBumpsGeneration) {
+  ManualClock clock;
+  Server server(make_predictor(), ServerConfig{}, clock);
+  const auto dir =
+      std::filesystem::temp_directory_path() / "lumos_test_server_reload_ok";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "model.l5gm";
+  ASSERT_TRUE(write_artifact(path, save_bytes(facade())).has_value());
+
+  const auto r = server.reload(path);
+  ASSERT_TRUE(r.has_value()) << r.error().message;
+  EXPECT_EQ(server.model_generation(), 2u);
+  EXPECT_EQ(server.stats().reloads_ok, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------- accounting ----------
+
+TEST(Server, StatsPartitionEveryAdmittedRequest) {
+  ManualClock clock;
+  ServerConfig cfg;
+  cfg.default_deadline_ms = 100;
+  Server server(make_predictor(), cfg, clock);
+  const auto samples = run_samples(0, 8);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.submit({1, samples[i], 0}).has_value());
+  }
+  clock.advance_ms(200);  // first four expire
+  for (std::size_t i = 4; i < 8; ++i) {
+    ASSERT_TRUE(server.submit({1, samples[i], 0}).has_value());
+  }
+  server.drain();
+
+  const auto& st = server.stats();
+  EXPECT_EQ(st.submitted, 8u);
+  EXPECT_EQ(st.served + st.failed + st.deadline_expired, st.submitted);
+  std::uint64_t by_tier = 0;
+  for (const auto n : st.served_by_tier) by_tier += n;
+  EXPECT_EQ(by_tier, st.served);
+}
+
+}  // namespace
+}  // namespace lumos::serve

@@ -73,12 +73,13 @@ std::vector<Rule> make_rules() {
                {}});
 
   r.push_back({"wall-clock",
-               "library results must not depend on wall time; clocks belong "
-               "in bench/ and tests/ only",
+               "library results must not depend on wall time; inject a "
+               "lumos::Clock (common/clock.h) instead — src/common/clock.cpp "
+               "is the single blessed real-clock implementation",
                RuleKind::kPattern,
                R"((system_clock|steady_clock|high_resolution_clock)::now[[:space:]]*\(|(^|[^_[:alnum:]])(time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)?[[:space:]]*\)|gettimeofday[[:space:]]*\(|clock_gettime[[:space:]]*\())",
                {"src/"},
-               {}});
+               {"src/common/clock."}});
 
   r.push_back({"thread-outside-pool",
                "raw std::thread/std::async bypasses the deterministic "
