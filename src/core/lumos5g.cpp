@@ -44,10 +44,15 @@ Lumos5G::Lumos5G(Lumos5GConfig cfg)
     : cfg_(std::move(cfg)),
       tier_specs_(derive_tiers(cfg_.feature_spec, cfg_.fallback)) {
   tiers_.reserve(tier_specs_.size());
+  tier_group_names_.reserve(tier_specs_.size());
+  tier_widths_.reserve(tier_specs_.size());
   for (const auto& spec : tier_specs_) {
     tiers_.push_back(Tier{ml::GbdtRegressor(cfg_.gbdt),
                           ml::GbdtClassifier(cfg_.gbdt),
                           data::feature_names(spec, cfg_.features), false});
+    tier_group_names_.push_back(spec.name());
+    tier_widths_.push_back(data::feature_width(spec, cfg_.features));
+    max_width_ = std::max(max_width_, tier_widths_.back());
   }
 }
 
@@ -91,17 +96,24 @@ Expected<Prediction> Lumos5G::predict(
     return Error{ErrorCode::kNotTrained,
                  "Lumos5G::predict: train() has not succeeded yet"};
   }
+  // Per-thread row arena, as in serve::Predictor::predict: sized once to
+  // the widest tier, fully overwritten by feature_row_into before use.
+  thread_local std::vector<double> row_arena;
+  if (row_arena.size() < max_width_) {
+    row_arena.resize(max_width_);  // lumos-lint: allow(hot-path-alloc) amortized thread-local arena growth
+  }
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
     const Tier& tier = tiers_[i];
     if (!tier.trained) continue;
-    const auto row =
-        data::feature_row_from_window(recent, tier_specs_[i], cfg_.features);
-    if (!row) continue;
+    const std::span<double> row{row_arena.data(), tier_widths_[i]};
+    if (!data::feature_row_into(recent, tier_specs_[i], cfg_.features, row)) {
+      continue;
+    }
     Prediction p;
-    p.throughput_mbps = tier.regressor.predict(*row);
-    p.throughput_class = tier.classifier.predict(*row);
+    p.throughput_mbps = tier.regressor.predict(row);
+    p.throughput_class = tier.classifier.predict(row);
     p.tier = static_cast<int>(i);
-    p.feature_group = tier_specs_[i].name();
+    p.feature_group = tier_group_names_[i];  // SSO copy: group names are short
     return p;
   }
   if (cfg_.fallback.enabled && cfg_.fallback.harmonic_tail) {
@@ -127,10 +139,9 @@ Expected<Prediction> Lumos5G::predict(
       return p;
     }
   }
-  return Error{ErrorCode::kWindowUnusable,
-               "Lumos5G::predict: window of " +
-                   std::to_string(recent.size()) +
-                   " samples cannot produce features for any trained tier"};
+  // Static message: the hot path never formats (see lumos_lint's
+  // hot-path-alloc pass); the typed code is the contract.
+  return Error{ErrorCode::kWindowUnusable, "window unusable"};
 }
 
 const std::vector<std::string>& Lumos5G::feature_names() const noexcept {

@@ -138,6 +138,11 @@ class Lumos5G {
   Lumos5GConfig cfg_;
   std::vector<data::FeatureSetSpec> tier_specs_;
   std::vector<Tier> tiers_;
+  // Precomputed at construction so predict() never formats a group name or
+  // recomputes a row width per call (both would allocate on the hot path).
+  std::vector<std::string> tier_group_names_;
+  std::vector<std::size_t> tier_widths_;
+  std::size_t max_width_ = 0;
   bool trained_ = false;
 };
 

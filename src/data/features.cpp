@@ -90,49 +90,53 @@ std::vector<std::string> feature_names(const FeatureSetSpec& spec,
 namespace {
 
 /// Writes the feature vector for position `i` of a record sequence into
-/// `row`. `rec_at(i - lag)` must be valid for all configured lags.
+/// `row`, which must hold feature_width() doubles. Allocation-free — this
+/// sits under the serving hot path (feature_row_into). `rec_at(i - lag)`
+/// must be valid for all configured lags.
 template <typename GetRecord>
 void fill_row_impl(GetRecord&& rec_at, std::size_t i,
                    const FeatureSetSpec& spec, const FeatureConfig& cfg,
-                   std::vector<double>& row) {
+                   std::span<double> row) {
   LUMOS_EXPECTS(!spec.C ||
                     i + 1 >= static_cast<std::size_t>(cfg.throughput_lags),
                 "fill_row: C-group lags reach before the run start");
-  row.clear();
+  std::size_t k = 0;
   const SampleRecord& s = rec_at(i);
   if (spec.L) {
-    row.push_back(static_cast<double>(s.pixel_x));
-    row.push_back(static_cast<double>(s.pixel_y));
+    row[k++] = static_cast<double>(s.pixel_x);
+    row[k++] = static_cast<double>(s.pixel_y);
   }
   if (spec.T) {
-    row.push_back(s.ue_panel_distance_m);
-    row.push_back(s.theta_p_deg);
-    row.push_back(s.theta_m_deg);
+    row[k++] = s.ue_panel_distance_m;
+    row[k++] = s.theta_p_deg;
+    row[k++] = s.theta_m_deg;
   }
   if (spec.M) {
-    row.push_back(s.moving_speed_mps);
+    row[k++] = s.moving_speed_mps;
     if (!spec.T) {
       const double rad = geo::deg2rad(s.compass_deg);
-      row.push_back(std::sin(rad));
-      row.push_back(std::cos(rad));
+      row[k++] = std::sin(rad);
+      row[k++] = std::cos(rad);
     }
   }
   if (spec.C) {
     for (int lag = 0; lag < cfg.throughput_lags; ++lag) {
-      row.push_back(rec_at(i - static_cast<std::size_t>(lag)).throughput_mbps);
+      row[k++] = rec_at(i - static_cast<std::size_t>(lag)).throughput_mbps;
     }
-    row.push_back(s.radio_type == RadioType::kNrMmWave ? 1.0 : 0.0);
-    row.push_back(s.lte_rsrp);
-    row.push_back(s.nr_ssrsrp);
-    row.push_back(s.horizontal_handoff ? 1.0 : 0.0);
-    row.push_back(s.vertical_handoff ? 1.0 : 0.0);
+    row[k++] = s.radio_type == RadioType::kNrMmWave ? 1.0 : 0.0;
+    row[k++] = s.lte_rsrp;
+    row[k++] = s.nr_ssrsrp;
+    row[k++] = s.horizontal_handoff ? 1.0 : 0.0;
+    row[k++] = s.vertical_handoff ? 1.0 : 0.0;
   }
 }
 
-/// Convenience wrapper over a run of dataset indices.
+/// Convenience wrapper over a run of dataset indices (training path; the
+/// resize is a no-op after the first row).
 void fill_row(const Dataset& ds, const std::vector<std::size_t>& run,
               std::size_t i, const FeatureSetSpec& spec,
               const FeatureConfig& cfg, std::vector<double>& row) {
+  row.resize(feature_width(spec, cfg));
   fill_row_impl(
       [&](std::size_t j) -> const SampleRecord& { return ds[run[j]]; }, i,
       spec, cfg, row);
@@ -246,28 +250,47 @@ BuiltSequences build_sequences(const Dataset& ds, const FeatureSetSpec& spec,
   return out;
 }
 
-std::optional<std::vector<double>> feature_row_from_window(
-    std::span<const SampleRecord> window, const FeatureSetSpec& spec,
-    const FeatureConfig& cfg) {
+std::size_t feature_width(const FeatureSetSpec& spec,
+                          const FeatureConfig& cfg) noexcept {
+  std::size_t w = 0;
+  if (spec.L) w += 2;
+  if (spec.T) w += 3;
+  if (spec.M) w += spec.T ? 1 : 3;
+  if (spec.C) w += static_cast<std::size_t>(cfg.throughput_lags) + 5;
+  return w;
+}
+
+bool feature_row_into(std::span<const SampleRecord> window,
+                      const FeatureSetSpec& spec, const FeatureConfig& cfg,
+                      std::span<double> out) {
   const std::size_t hist = spec.C
                                ? static_cast<std::size_t>(cfg.throughput_lags)
                                : 1;
-  if (window.size() < hist) return std::nullopt;
+  if (window.size() < hist) return false;
   const std::size_t i = window.size() - 1;
-  if (spec.T && !window[i].has_panel_geometry()) return std::nullopt;
+  if (spec.T && !window[i].has_panel_geometry()) return false;
   if (cfg.max_gap_s > 0.0) {
     // Only the consumed history (last `hist` records) must be gap-free.
     for (std::size_t k = window.size() - hist + 1; k <= i; ++k) {
       if (!contiguous(window[k - 1].timestamp_s, window[k].timestamp_s,
                       cfg.max_gap_s)) {
-        return std::nullopt;
+        return false;
       }
     }
   }
-  std::vector<double> row;
+  LUMOS_EXPECTS(out.size() >= feature_width(spec, cfg),
+                "feature_row_into: output span narrower than feature_width");
   fill_row_impl(
       [&](std::size_t j) -> const SampleRecord& { return window[j]; }, i,
-      spec, cfg, row);
+      spec, cfg, out);
+  return true;
+}
+
+std::optional<std::vector<double>> feature_row_from_window(
+    std::span<const SampleRecord> window, const FeatureSetSpec& spec,
+    const FeatureConfig& cfg) {
+  std::vector<double> row(feature_width(spec, cfg));
+  if (!feature_row_into(window, spec, cfg, row)) return std::nullopt;
   return row;
 }
 

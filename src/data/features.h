@@ -78,12 +78,27 @@ struct BuiltFeatures {
     const FeatureSetSpec& spec,
                                        const FeatureConfig& cfg = {});
 
-/// Builds one feature row from a window of consecutive samples; the last
-/// element of `window` is the prediction reference time. Returns nullopt if
-/// the window is too short for the configured lags, lacks panel geometry
-/// while `spec.T` is set, or (with cfg.max_gap_s > 0) the consumed history
-/// spans a timestamp discontinuity. Used for online prediction (Lumos5G
-/// facade).
+/// Width of one feature row for this spec/config — the size a caller must
+/// provide to feature_row_into(). Equals feature_names().size() without
+/// allocating.
+[[nodiscard]] std::size_t feature_width(const FeatureSetSpec& spec,
+                                        const FeatureConfig& cfg = {}) noexcept;
+
+/// Allocation-free core of feature_row_from_window(): writes the feature
+/// row for `window` (last element = prediction reference time) into `out`,
+/// which must hold at least feature_width() doubles. Returns false — and
+/// writes nothing — if the window is too short for the configured lags,
+/// lacks panel geometry while `spec.T` is set, or (with cfg.max_gap_s > 0)
+/// the consumed history spans a timestamp discontinuity. This is the
+/// serving hot path's entry point (serve::Predictor keeps a reusable row
+/// arena and calls this).
+[[nodiscard]] bool feature_row_into(std::span<const SampleRecord> window,
+                                    const FeatureSetSpec& spec,
+                                    const FeatureConfig& cfg,
+                                    std::span<double> out);
+
+/// Allocating convenience wrapper over feature_row_into() for training and
+/// tests. Returns nullopt when the window is unusable.
 [[nodiscard]] std::optional<std::vector<double>> feature_row_from_window(
     std::span<const SampleRecord> window, const FeatureSetSpec& spec,
     const FeatureConfig& cfg = {});

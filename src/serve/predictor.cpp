@@ -1,9 +1,11 @@
 #include "serve/predictor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <utility>
 
+#include "common/contracts.h"
 #include "common/parallel.h"
 
 namespace lumos::serve {
@@ -18,7 +20,12 @@ Expected<Predictor> Predictor::compile(const core::Lumos5G& model) {
   p.fallback_ = model.config().fallback;
   p.specs_ = model.tier_specs();
   p.tiers_.resize(p.specs_.size());
+  p.tier_names_.reserve(p.specs_.size());
+  p.tier_widths_.reserve(p.specs_.size());
   for (std::size_t i = 0; i < p.specs_.size(); ++i) {
+    p.tier_names_.push_back(p.specs_[i].name());
+    p.tier_widths_.push_back(data::feature_width(p.specs_[i], p.features_));
+    p.max_width_ = std::max(p.max_width_, p.tier_widths_.back());
     if (!model.tier_trained(i)) continue;
     p.tiers_[i].regressor = FlatForest::flatten(model.tier_regressor(i));
     p.tiers_[i].classifier = FlatClassifier::flatten(model.tier_classifier(i));
@@ -33,17 +40,25 @@ Expected<core::Prediction> Predictor::predict(
   // bit-identically to the facade it came from. min_tier skips the front
   // of the chain (overload degradation); the walk below it is unchanged,
   // so min_tier = 0 stays bit-identical to the facade.
+  // Per-thread row arena: sized once to the widest tier, then reused by
+  // every call on this thread. The resize is amortized cold (a no-op after
+  // the first call at this width), and the contents are fully overwritten
+  // by feature_row_into before use, so reuse cannot leak state between
+  // calls or threads.
+  thread_local std::vector<double> row_arena;
+  if (row_arena.size() < max_width_) {
+    row_arena.resize(max_width_);  // lumos-lint: allow(hot-path-alloc) amortized thread-local arena growth
+  }
   for (std::size_t i = min_tier; i < tiers_.size(); ++i) {
     const FlatTier& tier = tiers_[i];
     if (!tier.compiled) continue;
-    const auto row = data::feature_row_from_window(recent, specs_[i],
-                                                   features_);
-    if (!row) continue;
+    const std::span<double> row{row_arena.data(), tier_widths_[i]};
+    if (!data::feature_row_into(recent, specs_[i], features_, row)) continue;
     core::Prediction p;
-    p.throughput_mbps = tier.regressor.predict(*row);
-    p.throughput_class = tier.classifier.predict(*row);
+    p.throughput_mbps = tier.regressor.predict(row);
+    p.throughput_class = tier.classifier.predict(row);
     p.tier = static_cast<int>(i);
-    p.feature_group = specs_[i].name();
+    p.feature_group = tier_names_[i];  // SSO copy: tier names are short
     return p;
   }
   if (fallback_.enabled && fallback_.harmonic_tail) {
@@ -69,36 +84,45 @@ Expected<core::Prediction> Predictor::predict(
       return p;
     }
   }
-  return Error{ErrorCode::kWindowUnusable,
-               "Predictor::predict: window of " +
-                   std::to_string(recent.size()) +
-                   " samples cannot produce features for any compiled tier"};
+  // Static message: the hot path never formats. The code plus the window
+  // length on the Response are enough for the caller to diagnose.
+  return Error{ErrorCode::kWindowUnusable, "window unusable"};
+}
+
+void Predictor::predict_spans(
+    std::span<const std::span<const data::SampleRecord>> windows,
+    std::span<Expected<core::Prediction>> out, std::size_t min_tier) const {
+  LUMOS_EXPECTS(out.size() >= windows.size(),
+                "Predictor::predict_spans: one output slot per window");
+  parallel_for(0, windows.size(), 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = predict(windows[i], min_tier);
+    }
+  });
 }
 
 std::vector<Expected<core::Prediction>> Predictor::predict_batch(
     std::span<const Session> sessions, std::size_t min_tier) const {
+  std::vector<std::span<const data::SampleRecord>> spans;
+  spans.reserve(sessions.size());
+  for (const Session& s : sessions) spans.push_back(s.window());
   std::vector<Expected<core::Prediction>> out(
       sessions.size(),
       Expected<core::Prediction>(Error{ErrorCode::kWindowUnusable, ""}));
-  parallel_for(0, sessions.size(), 8, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) {
-      out[i] = predict(sessions[i].window(), min_tier);
-    }
-  });
+  predict_spans(spans, out, min_tier);
   return out;
 }
 
 std::vector<Expected<core::Prediction>> Predictor::predict_windows(
     std::span<const std::vector<data::SampleRecord>> windows,
     std::size_t min_tier) const {
+  std::vector<std::span<const data::SampleRecord>> spans;
+  spans.reserve(windows.size());
+  for (const auto& w : windows) spans.emplace_back(w);
   std::vector<Expected<core::Prediction>> out(
       windows.size(),
       Expected<core::Prediction>(Error{ErrorCode::kWindowUnusable, ""}));
-  parallel_for(0, windows.size(), 8, [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) {
-      out[i] = predict(windows[i], min_tier);
-    }
-  });
+  predict_spans(spans, out, min_tier);
   return out;
 }
 

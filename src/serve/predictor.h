@@ -39,7 +39,9 @@ class Session {
     if (window_.size() == capacity_ && !window_.empty()) {
       window_.erase(window_.begin());
     }
-    window_.push_back(sample);
+    // Bounded: capacity_ was reserved at construction and the erase above
+    // keeps size < capacity_, so this never reallocates.
+    window_.push_back(sample);  // lumos-lint: allow(hot-path-alloc) reserved at construction, never grows
   }
 
   std::span<const data::SampleRecord> window() const noexcept {
@@ -79,17 +81,24 @@ class Predictor {
     return predict(session.window(), min_tier);
   }
 
+  /// Allocation-free batched walk: out[i] receives windows[i]'s prediction
+  /// (or its typed error). Requires out.size() == windows.size(). Windows
+  /// are chunked over the global thread pool; each slot is written once,
+  /// so the result is identical at any LUMOS_THREADS. This is the batched
+  /// serving hot path — serve::Server::poll calls it with preallocated
+  /// arenas, and it is a root in the lint reachability proof.
+  void predict_spans(std::span<const std::span<const data::SampleRecord>> windows,
+                     std::span<Expected<core::Prediction>> out,
+                     std::size_t min_tier = 0) const;
+
   /// Batched prediction: out[i] is sessions[i]'s prediction (or its typed
   /// error — e.g. a freshly created session with an unusable window).
-  /// Sessions are chunked over the global thread pool; each writes only
-  /// its own slot, so the result is identical at any LUMOS_THREADS.
+  /// Allocating convenience wrapper over predict_spans().
   [[nodiscard]] std::vector<Expected<core::Prediction>> predict_batch(
       std::span<const Session> sessions, std::size_t min_tier = 0) const;
 
   /// Same batched walk over raw window snapshots (one per queued request).
-  /// Used by serve::Server, which snapshots each session window at request
-  /// order so a UE appearing twice in one batch sees its own observation
-  /// but not later ones.
+  /// Allocating convenience wrapper over predict_spans().
   [[nodiscard]] std::vector<Expected<core::Prediction>> predict_windows(
       std::span<const std::vector<data::SampleRecord>> windows,
       std::size_t min_tier = 0) const;
@@ -119,6 +128,11 @@ class Predictor {
   core::FallbackConfig fallback_;
   std::vector<data::FeatureSetSpec> specs_;
   std::vector<FlatTier> tiers_;
+  // Precomputed at compile() so predict() never formats a name or
+  // recomputes a width per call (both would allocate on the hot path).
+  std::vector<std::string> tier_names_;
+  std::vector<std::size_t> tier_widths_;
+  std::size_t max_width_ = 0;
 };
 
 }  // namespace lumos::serve

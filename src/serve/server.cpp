@@ -20,29 +20,42 @@ Server::Server(Predictor predictor, ServerConfig cfg, Clock& clock)
   cfg_.shed_watermark = std::clamp(cfg_.shed_watermark, 0.0, 1.0);
   std::sort(cfg_.degrade_watermarks.begin(), cfg_.degrade_watermarks.end());
   stats_.served_by_tier.assign(predictor_.tier_specs().size() + 1, 0);
+
+  // Every buffer the serving path touches is allocated here, once: the
+  // admission ring and the poll() batch/window/result arenas. After
+  // construction, submit() and poll() never allocate (enforced by the
+  // lumos_lint reachability pass).
+  ring_.resize(cfg_.queue_capacity);
+  batch_arena_.resize(cfg_.max_batch);
+  window_arena_.resize(cfg_.max_batch * cfg_.session_capacity);
+  span_arena_.resize(cfg_.max_batch);
+  slot_arena_.resize(cfg_.max_batch);
+  result_arena_.assign(
+      cfg_.max_batch,
+      Expected<core::Prediction>(Error{ErrorCode::kWindowUnusable, ""}));
 }
 
 Expected<std::uint64_t> Server::submit(const Request& req) {
   const std::uint64_t now = clock_->now_ms();
-  const std::scoped_lock lock(mu_);
+  // Admission is the one sanctioned lock on the hot path: the critical
+  // section is a bounded handful of scalar writes into the preallocated
+  // ring — no allocation, no I/O, no model work ever happens under mu_.
+  const std::scoped_lock lock(mu_);  // lumos-lint: allow(hot-path-lock) bounded admission critical section
   if (shutting_down_) {
     ++stats_.rejected_shutdown;
-    return Error{ErrorCode::kShuttingDown,
-                 "server is draining; no new requests admitted"};
+    // Static messages: admission never formats. The typed code carries
+    // the decision; depths and watermarks are visible via stats().
+    return Error{ErrorCode::kShuttingDown, "draining"};
   }
   // Shed at the watermark, and unconditionally at the hard capacity bound.
   const auto shed_at = static_cast<std::size_t>(
       cfg_.shed_watermark * static_cast<double>(cfg_.queue_capacity));
-  if (queue_.size() >= std::max<std::size_t>(1, shed_at) ||
-      queue_.size() >= cfg_.queue_capacity) {
+  if (count_ >= std::max<std::size_t>(1, shed_at) ||
+      count_ >= cfg_.queue_capacity) {
     ++stats_.shed;
-    return Error{ErrorCode::kOverloaded,
-                 "queue depth " + std::to_string(queue_.size()) +
-                     " at/above shed watermark (" +
-                     std::to_string(cfg_.shed_watermark) + " of " +
-                     std::to_string(cfg_.queue_capacity) + ")"};
+    return Error{ErrorCode::kOverloaded, "over watermark"};
   }
-  Pending p;
+  Pending& p = ring_[(head_ + count_) % cfg_.queue_capacity];
   p.ticket = next_ticket_++;
   p.ue_id = req.ue_id;
   p.enqueued_ms = now;
@@ -50,10 +63,10 @@ Expected<std::uint64_t> Server::submit(const Request& req) {
       req.deadline_ms != 0 ? req.deadline_ms : cfg_.default_deadline_ms;
   p.expiry_ms = budget != 0 ? now + budget : 0;
   p.sample = req.sample;
-  queue_.push_back(std::move(p));
+  ++count_;
   ++stats_.submitted;
-  stats_.peak_depth = std::max(stats_.peak_depth, queue_.size());
-  return queue_.back().ticket;
+  stats_.peak_depth = std::max(stats_.peak_depth, count_);
+  return p.ticket;
 }
 
 void Server::begin_shutdown() {
@@ -63,7 +76,7 @@ void Server::begin_shutdown() {
 
 std::size_t Server::queue_depth() const {
   const std::scoped_lock lock(mu_);
-  return queue_.size();
+  return count_;
 }
 
 bool Server::shutting_down() const {
@@ -100,7 +113,10 @@ Server::SessionEntry& Server::touch_session(std::uint64_t ue,
       sessions_.erase(victim);
       ++stats_.evicted_lru;
     }
-    it = sessions_.emplace(ue, SessionEntry{Session(cfg_.session_capacity),
+    // First contact for this UE: the one amortized allocation on the
+    // serving path (a map node + the session's reserved window). Steady
+    // state — every UE already seen — allocates nothing.
+    it = sessions_.emplace(ue, SessionEntry{Session(cfg_.session_capacity),  // lumos-lint: allow(hot-path-alloc) first-contact session creation, amortized
                                             now, 0}).first;
   }
   it->second.last_used_ms = now;
@@ -120,37 +136,38 @@ void Server::evict_expired_sessions(std::uint64_t now) {
   }
 }
 
-std::vector<Response> Server::step() {
-  // 1. Drain up to max_batch requests. The tier floor is derived from the
-  //    depth at the start of the step — the batch about to be served is
-  //    part of the pressure it was admitted under.
-  std::vector<Pending> batch;
+std::size_t Server::poll(std::span<Response> out) {
+  // 1. Drain up to min(max_batch, out.size()) requests into the batch
+  //    arena. The tier floor is derived from the depth at the start of the
+  //    step — the batch about to be served is part of the pressure it was
+  //    admitted under.
+  std::size_t n = 0;
   std::size_t depth_at_start = 0;
   {
-    const std::scoped_lock lock(mu_);
-    depth_at_start = queue_.size();
-    const std::size_t n = std::min(cfg_.max_batch, queue_.size());
-    batch.reserve(n);
+    // Same bounded critical section as submit(): scalar copies out of the
+    // preallocated ring, nothing else.
+    const std::scoped_lock lock(mu_);  // lumos-lint: allow(hot-path-lock) bounded drain critical section
+    depth_at_start = count_;
+    n = std::min({cfg_.max_batch, count_, out.size()});
     for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+      batch_arena_[i] = ring_[(head_ + i) % cfg_.queue_capacity];
     }
+    head_ = (head_ + n) % cfg_.queue_capacity;
+    count_ -= n;
   }
   const std::size_t min_tier = min_tier_for_depth(depth_at_start);
   const std::uint64_t now = clock_->now_ms();
 
   // 2. Expire overdue requests without touching sessions or the model —
   //    an expired answer is pure waste, so it must cost nothing. Live
-  //    requests update their session and snapshot its window at their
-  //    position in admission order, so a UE submitting twice in one batch
-  //    sees its first observation but not its second.
-  std::vector<Response> out(batch.size());
-  std::vector<std::vector<data::SampleRecord>> windows;
-  std::vector<std::size_t> window_slot;  // windows[j] answers out[window_slot[j]]
-  windows.reserve(batch.size());
-  window_slot.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Pending& p = batch[i];
+  //    requests update their session and snapshot its window into the
+  //    contiguous window arena at their position in admission order, so a
+  //    UE submitting twice in one batch sees its first observation but not
+  //    its second.
+  std::size_t n_windows = 0;
+  std::size_t arena_used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Pending& p = batch_arena_[i];
     Response& r = out[i];
     r.ticket = p.ticket;
     r.ue_id = p.ue_id;
@@ -158,36 +175,49 @@ std::vector<Response> Server::step() {
     r.served_ms = now;
     r.min_tier = min_tier;
     if (p.expiry_ms != 0 && now > p.expiry_ms) {
-      r.result = Error{ErrorCode::kDeadlineExceeded,
-                       "request waited " + std::to_string(now - p.enqueued_ms) +
-                           " ms, past its deadline"};
+      r.result = Error{ErrorCode::kDeadlineExceeded, "past deadline"};
       ++stats_.deadline_expired;
       continue;
     }
     SessionEntry& entry = touch_session(p.ue_id, now);
     entry.session.observe(p.sample);
     const auto w = entry.session.window();
-    windows.emplace_back(w.begin(), w.end());
-    window_slot.push_back(i);
+    // arena_used never exceeds max_batch * session_capacity (the arena's
+    // constructed size): at most max_batch windows of at most
+    // session_capacity records each.
+    std::copy(w.begin(), w.end(), window_arena_.begin() + arena_used);
+    span_arena_[n_windows] = {window_arena_.data() + arena_used, w.size()};
+    slot_arena_[n_windows] = i;
+    arena_used += w.size();
+    ++n_windows;
   }
 
-  // 3. One batched walk over the thread pool; each slot is written once,
-  //    so the result is bit-identical at any LUMOS_THREADS.
-  auto predictions = predictor_.predict_windows(windows, min_tier);
-  for (std::size_t j = 0; j < predictions.size(); ++j) {
-    Response& r = out[window_slot[j]];
-    if (predictions[j].has_value()) {
-      const auto tier = static_cast<std::size_t>(predictions[j]->tier);
+  // 3. One batched walk over the thread pool into the result arena; each
+  //    slot is written once, so the result is bit-identical at any
+  //    LUMOS_THREADS.
+  predictor_.predict_spans({span_arena_.data(), n_windows},
+                           {result_arena_.data(), n_windows}, min_tier);
+  for (std::size_t j = 0; j < n_windows; ++j) {
+    Response& r = out[slot_arena_[j]];
+    if (result_arena_[j].has_value()) {
+      const auto tier = static_cast<std::size_t>(result_arena_[j]->tier);
       if (tier < stats_.served_by_tier.size()) ++stats_.served_by_tier[tier];
       ++stats_.served;
     } else {
       ++stats_.failed;
     }
-    r.result = std::move(predictions[j]);
+    r.result = std::move(result_arena_[j]);
   }
 
   // 4. Idle-session TTL sweep against the same `now` the batch saw.
   evict_expired_sessions(now);
+  return n;
+}
+
+std::vector<Response> Server::step() {
+  std::vector<Response> out(cfg_.max_batch);
+  const std::size_t n = poll(out);
+  out.resize(n);
   return out;
 }
 

@@ -49,10 +49,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -156,10 +156,19 @@ class Server {
 
   // --- consumer side (single-threaded) -------------------------------------
 
+  /// Allocation-free serving step: drains up to min(max_batch, out.size())
+  /// requests into caller-provided storage — expires overdue ones, applies
+  /// the depth-derived tier floor, feeds sessions, and batch-predicts over
+  /// the thread pool using the server's preallocated arenas. Returns the
+  /// number of responses written (admission order). Also runs TTL eviction
+  /// against the current clock. This is the consumer-side hot-path root in
+  /// the lint reachability proof; step() is its allocating wrapper.
+  [[nodiscard]] std::size_t poll(std::span<Response> out);
+
   /// Drains up to max_batch requests: expires overdue ones, applies the
   /// depth-derived tier floor, feeds sessions, and batch-predicts over the
   /// thread pool. Returns responses in admission order. Also runs TTL
-  /// eviction against the current clock.
+  /// eviction against the current clock. Allocating wrapper over poll().
   std::vector<Response> step();
 
   /// Pumps step() until the queue is empty; returns all responses.
@@ -218,16 +227,30 @@ class Server {
   Clock* clock_;
   Predictor predictor_;
 
-  mutable std::mutex mu_;  ///< guards queue_ + admission-side stats
-  std::deque<Pending> queue_;
+  mutable std::mutex mu_;  ///< guards the ring + admission-side stats
+  /// Fixed-capacity ring buffer (queue_capacity slots, allocated once in
+  /// the constructor): admission never allocates. head_ is the oldest
+  /// pending request; count_ the number queued.
+  std::vector<Pending> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   bool shutting_down_ = false;
   std::uint64_t next_ticket_ = 1;
 
-  // Consumer-side state: only touched from step()/reload().
+  // Consumer-side state: only touched from poll()/reload().
   std::map<std::uint64_t, SessionEntry> sessions_;
   std::uint64_t use_seq_ = 0;
   std::uint64_t generation_ = 1;
   ServerStats stats_;
+
+  // Preallocated poll() arenas (sized once in the constructor): the batch
+  // snapshot, the contiguous window copies plus their spans, the
+  // response-slot mapping, and the prediction results.
+  std::vector<Pending> batch_arena_;
+  std::vector<data::SampleRecord> window_arena_;
+  std::vector<std::span<const data::SampleRecord>> span_arena_;
+  std::vector<std::size_t> slot_arena_;
+  std::vector<Expected<core::Prediction>> result_arena_;
 };
 
 }  // namespace lumos::serve

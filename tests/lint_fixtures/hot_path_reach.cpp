@@ -1,0 +1,32 @@
+// Fixture: a serving root reaching a heap allocation two hops down. The
+// reachability pass must report the full call chain (submit -> helper ->
+// the to_string/push_back sites), not just the allocation line.
+#include <string>
+#include <vector>
+
+namespace lumos::serve {
+
+class DiagnosticBuffer {
+ public:
+  void record(int code) {
+    text_ = std::to_string(code);
+    history_.push_back(code);
+  }
+
+ private:
+  std::string text_;
+  std::vector<int> history_;
+};
+
+class Server {
+ public:
+  int submit() {
+    diag_.record(7);
+    return 0;
+  }
+
+ private:
+  DiagnosticBuffer diag_;
+};
+
+}  // namespace lumos::serve

@@ -1,0 +1,26 @@
+// Fixture: lock-order violations in serve/. `aux_mu_` is not in the
+// declared acquisition order (the checked-in table only knows `mu_`), so
+// both sites below are findings.
+#include <mutex>
+
+namespace lumos::serve {
+
+class WorkQueue {
+ public:
+  void push() {
+    const std::scoped_lock lock(aux_mu_);
+    ++depth_;
+  }
+
+  void transfer() {
+    const std::scoped_lock lock(aux_mu_, mu_);
+    --depth_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::mutex aux_mu_;
+  int depth_ = 0;
+};
+
+}  // namespace lumos::serve

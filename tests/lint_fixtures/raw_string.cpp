@@ -1,0 +1,12 @@
+// Fixture: raw-string regression. v1's stripper treated R"(...)" like an
+// ordinary quoted string, so an embedded `)` un-stripped the remainder and
+// pattern rules fired on literal content. None of the banned spellings
+// below are code.
+namespace lumos::ml {
+const char* kPlain = R"(rand() and std::mt19937 and time(nullptr))";
+const char* kDelim = R"x(std::unordered_map<int, int> m; srand(1); ")x";
+const char* kMultiline = R"doc(
+  std::thread worker;
+  assert(false);
+)doc";
+}  // namespace lumos::ml

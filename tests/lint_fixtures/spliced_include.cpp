@@ -1,0 +1,8 @@
+// Fixture: a backslash-spliced #include. v1 matched rules against physical
+// lines, so neither half of the spliced directive matched ^#include and a
+// layering break could dodge the check. The lexer resolves splices into
+// one logical directive before the layering pass runs.
+#inc\
+lude \
+    "sim/faults.h"
+#include "ml/tree.h"

@@ -1,0 +1,22 @@
+// Fixture: iteration order of an unordered container feeding a floating-
+// point accumulation — the sum depends on hash-table layout, which breaks
+// the bit-identical-at-any-thread-count guarantee.
+#include <unordered_map>
+
+namespace lumos::stats {
+
+class CellAggregate {
+ public:
+  double total() const {
+    double sum = 0.0;
+    for (const auto& kv : counts_) {
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, double> counts_;
+};
+
+}  // namespace lumos::stats

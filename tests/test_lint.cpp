@@ -9,14 +9,24 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.h"
+#include "lexer.h"
 #include "lint.h"
+#include "reach.h"
+#include "symbols.h"
 
 namespace {
 
 using lumos::lint::Finding;
+using lumos::lint::SourceFile;
+using lumos::lint::analyze_sources;
+using lumos::lint::build_callgraph;
 using lumos::lint::default_rules;
+using lumos::lint::extract_symbols;
+using lumos::lint::lex_file;
 using lumos::lint::scan_file;
 using lumos::lint::scan_tree;
+using lumos::lint::TokKind;
 
 std::string read_fixture(const std::string& name) {
   const std::string path = std::string(LUMOS_LINT_FIXTURES_DIR) + "/" + name;
@@ -130,6 +140,285 @@ TEST(LumosLint, CommentsAndStringsDoNotFire) {
 
 TEST(LumosLint, RuleTableHasAtLeastEightRules) {
   EXPECT_GE(default_rules().size(), 8u);
+}
+
+// ---- lexer pass ----------------------------------------------------------
+
+TEST(LumosLintLexer, TokenGolden) {
+  const auto lexed = lex_file("int x = a->b::c(42);\n");
+  std::vector<std::pair<TokKind, std::string>> got;
+  for (const auto& t : lexed.tokens) got.emplace_back(t.kind, t.text);
+  const std::vector<std::pair<TokKind, std::string>> want = {
+      {TokKind::kIdent, "int"}, {TokKind::kIdent, "x"},
+      {TokKind::kPunct, "="},   {TokKind::kIdent, "a"},
+      {TokKind::kPunct, "->"},  {TokKind::kIdent, "b"},
+      {TokKind::kPunct, "::"},  {TokKind::kIdent, "c"},
+      {TokKind::kPunct, "("},   {TokKind::kNumber, "42"},
+      {TokKind::kPunct, ")"},   {TokKind::kPunct, ";"},
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(LumosLintLexer, CommentsAndStringsAreBlankedNotTokenized) {
+  const auto lexed = lex_file(
+      "// rand() here\n"
+      "/* srand(1) there */\n"
+      "const char* s = \"time(nullptr)\";\n");
+  for (const auto& t : lexed.tokens) {
+    EXPECT_EQ(t.text.find("rand"), std::string::npos) << t.text;
+    EXPECT_EQ(t.text.find("time"), std::string::npos) << t.text;
+  }
+  // ...but the comments view keeps them for the suppression parser.
+  EXPECT_NE(lexed.comments.find("rand()"), std::string::npos);
+}
+
+TEST(LumosLintLexer, RawStringBodyIsNotCode) {
+  const auto lexed =
+      lex_file("const char* k = R\"x(rand(); \")\" still raw)x\"; int after;\n");
+  bool saw_rand = false, saw_after = false;
+  for (const auto& t : lexed.tokens) {
+    if (t.text == "rand") saw_rand = true;
+    if (t.text == "after") saw_after = true;
+  }
+  EXPECT_FALSE(saw_rand) << "raw-string body leaked into tokens";
+  EXPECT_TRUE(saw_after) << "lexer lost sync after the raw string";
+}
+
+TEST(LumosLintLexer, SplicedDirectiveIsOneLogicalDirective) {
+  const auto lexed = lex_file("#inc\\\nlude \\\n  \"sim/faults.h\"\nint x;\n");
+  ASSERT_EQ(lexed.directives.size(), 1u);
+  EXPECT_NE(lexed.directives[0].text.find("#include"), std::string::npos);
+  EXPECT_NE(lexed.directives[0].text.find("sim/faults.h"), std::string::npos);
+  // The directive's continuation lines must not leak into the token stream.
+  for (const auto& t : lexed.tokens) {
+    EXPECT_EQ(t.text.find("lude"), std::string::npos) << t.text;
+  }
+}
+
+TEST(LumosLintLexer, LineNumbersSurviveStripping) {
+  const auto lexed = lex_file("/* a\nb\nc */\nint x;\n");
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_EQ(lexed.tokens.front().text, "int");
+  EXPECT_EQ(lexed.tokens.front().line, 4u);
+}
+
+// ---- symbol pass ---------------------------------------------------------
+
+TEST(LumosLintSymbols, QualifiedFunctionAndClassExtraction) {
+  const std::string src =
+      "namespace lumos::serve {\n"
+      "class Server {\n"
+      " public:\n"
+      "  int submit() { return 0; }\n"
+      " private:\n"
+      "  Helper helper_;\n"
+      "};\n"
+      "int free_fn(int a) { return a; }\n"
+      "}  // namespace\n";
+  const auto syms = extract_symbols("src/serve/x.cpp", lex_file(src));
+  ASSERT_EQ(syms.functions.size(), 2u);
+  EXPECT_EQ(syms.functions[0].qual, "serve::Server::submit");
+  EXPECT_EQ(syms.functions[0].cls, "serve::Server");
+  EXPECT_EQ(syms.functions[1].qual, "serve::free_fn");
+  EXPECT_EQ(syms.functions[1].cls, "");
+  ASSERT_EQ(syms.classes.size(), 1u);
+  EXPECT_EQ(syms.classes[0].name, "Server");
+  ASSERT_TRUE(syms.classes[0].members.count("helper_"));
+  EXPECT_EQ(syms.classes[0].members.at("helper_"), "Helper");
+}
+
+TEST(LumosLintSymbols, OutOfLineDefinitionAndBases) {
+  const std::string src =
+      "namespace lumos {\n"
+      "class ManualClock final : public Clock {\n"
+      " public:\n"
+      "  void tick();\n"
+      "};\n"
+      "void ManualClock::tick() { ++t_; }\n"
+      "}  // namespace\n";
+  const auto syms = extract_symbols("src/common/x.cpp", lex_file(src));
+  ASSERT_EQ(syms.classes.size(), 1u);
+  ASSERT_EQ(syms.classes[0].bases.size(), 1u);
+  EXPECT_EQ(syms.classes[0].bases[0], "Clock");
+  ASSERT_EQ(syms.functions.size(), 1u);
+  EXPECT_EQ(syms.functions[0].qual, "ManualClock::tick");
+}
+
+// ---- call-graph pass -----------------------------------------------------
+
+TEST(LumosLintCallgraph, ReceiverChainResolvesThroughMemberHints) {
+  const std::string src =
+      "namespace lumos::serve {\n"
+      "class Forest { public: double predict() { return 1.0; } };\n"
+      "class Tier { public: Forest regressor; };\n"
+      "class Predictor {\n"
+      " public:\n"
+      "  double run() {\n"
+      "    const Tier& tier = tiers_[0];\n"
+      "    return tier.regressor.predict();\n"
+      "  }\n"
+      " private:\n"
+      "  std::vector<Tier> tiers_;\n"
+      "};\n"
+      "}\n";
+  const auto g = build_callgraph({{"src/serve/x.cpp", src}});
+  const std::size_t run = g.find("serve::Predictor::run");
+  const std::size_t predict = g.find("serve::Forest::predict");
+  ASSERT_NE(run, static_cast<std::size_t>(-1));
+  ASSERT_NE(predict, static_cast<std::size_t>(-1));
+  bool edge = false;
+  for (const auto& targets : g.nodes[run].out) {
+    for (std::size_t t : targets) edge |= (t == predict);
+  }
+  EXPECT_TRUE(edge) << "tier.regressor.predict() did not resolve";
+}
+
+TEST(LumosLintCallgraph, UnresolvableReceiverContributesNoEdge) {
+  // `mystery.predict()` has no declaration anywhere: binding it to every
+  // predict in the program would drown the analysis, so it must bind to
+  // nothing at all.
+  const std::string src =
+      "namespace lumos::serve {\n"
+      "class Forest { public: double predict() { return 1.0; } };\n"
+      "double run(const Opaque& mystery) { return mystery.predict(); }\n"
+      "}\n";
+  const auto g = build_callgraph({{"src/serve/x.cpp", src}});
+  const std::size_t run = g.find("serve::run");
+  ASSERT_NE(run, static_cast<std::size_t>(-1));
+  for (const auto& targets : g.nodes[run].out) {
+    EXPECT_TRUE(targets.empty());
+  }
+}
+
+TEST(LumosLintCallgraph, VirtualDispatchCoversDerivedOverrides) {
+  const std::string src =
+      "namespace lumos {\n"
+      "class Clock { public: virtual long now() { return 0; } };\n"
+      "class SteadyClock : public Clock {\n"
+      " public: long now() { return 1; } };\n"
+      "class User {\n"
+      " public:\n"
+      "  long read() { return clock_->now(); }\n"
+      " private:\n"
+      "  Clock* clock_;\n"
+      "};\n"
+      "}\n";
+  const auto g = build_callgraph({{"src/common/x.cpp", src}});
+  const std::size_t read = g.find("User::read");
+  const std::size_t derived = g.find("SteadyClock::now");
+  ASSERT_NE(read, static_cast<std::size_t>(-1));
+  ASSERT_NE(derived, static_cast<std::size_t>(-1));
+  bool edge = false;
+  for (const auto& targets : g.nodes[read].out) {
+    for (std::size_t t : targets) edge |= (t == derived);
+  }
+  EXPECT_TRUE(edge) << "call through Clock* must cover derived overrides";
+}
+
+// ---- reachability / policy passes over the fixtures ----------------------
+
+std::vector<Finding> analyze_fixture(const std::string& name,
+                                     const std::string& as_path) {
+  return analyze_sources({{as_path, read_fixture(name)}}, default_rules());
+}
+
+TEST(LumosLintReach, HotPathAllocReportsFullChain) {
+  const auto findings =
+      analyze_fixture("hot_path_reach.cpp", "src/serve/hot_path_reach.cpp");
+  ASSERT_TRUE(fires(findings, "hot-path-alloc"));
+  const auto it = std::find_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return f.rule == "hot-path-alloc"; });
+  ASSERT_GE(it->chain.size(), 2u) << "expected root -> helper chain";
+  EXPECT_NE(it->chain.front().find("serve::Server::submit"),
+            std::string::npos);
+  EXPECT_NE(it->chain.back().find("DiagnosticBuffer::record"),
+            std::string::npos);
+}
+
+TEST(LumosLintReach, BlessedEdgeStopsTheWalk) {
+  std::string body = read_fixture("hot_path_reach.cpp");
+  const std::string call = "diag_.record(7);";
+  const auto at = body.find(call);
+  ASSERT_NE(at, std::string::npos);
+  body.insert(at + call.size(),
+              "  // lumos-lint: allow(hot-path) fixture bless");
+  const auto findings =
+      analyze_sources({{"src/serve/hot_path_reach.cpp", body}},
+                      default_rules());
+  EXPECT_FALSE(fires(findings, "hot-path-alloc"))
+      << "a blessed call edge must not be walked";
+}
+
+TEST(LumosLintReach, LockOrderFixtureFires) {
+  const auto findings =
+      analyze_fixture("lock_order.cpp", "src/serve/lock_order.cpp");
+  EXPECT_TRUE(fires(findings, "lock-order"));
+}
+
+TEST(LumosLintReach, LockOrderIsServeScoped) {
+  const auto findings =
+      analyze_fixture("lock_order.cpp", "src/stats/lock_order.cpp");
+  EXPECT_FALSE(fires(findings, "lock-order"))
+      << "the lock-order table only governs src/serve/";
+}
+
+TEST(LumosLintReach, UnorderedAccumulateFixtureFires) {
+  const auto findings = analyze_fixture("unordered_accumulate.cpp",
+                                        "src/stats/unordered_accumulate.cpp");
+  EXPECT_TRUE(fires(findings, "unordered-accumulate"));
+}
+
+TEST(LumosLintReach, RealServingPathIsProvenNotVacuous) {
+  // The clean tree scan is only a proof if the roots actually exist and
+  // have bodies in the graph. Guard against silent rot: the real sources
+  // must yield nodes for every default root, and the batched root must
+  // reach the per-window walk.
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> sources;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(fs::path(LUMOS_SOURCE_ROOT) / "src")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cpp") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    sources.push_back(
+        {fs::relative(entry.path(), LUMOS_SOURCE_ROOT).generic_string(),
+         text.str()});
+  }
+  const auto g = build_callgraph(sources);
+  for (const std::string& root : lumos::lint::default_analysis().roots) {
+    EXPECT_NE(g.find(root), static_cast<std::size_t>(-1))
+        << "hot-path root " << root << " has no definition in src/";
+  }
+  // predict_spans must reach the single-window walk (the chain the proof
+  // covers), otherwise the batched root is vacuously clean.
+  const std::size_t spans = g.find("serve::Predictor::predict_spans");
+  ASSERT_NE(spans, static_cast<std::size_t>(-1));
+  const std::size_t single = g.find("serve::Predictor::predict");
+  bool edge = false;
+  for (const auto& targets : g.nodes[spans].out) {
+    for (std::size_t t : targets) edge |= (t == single);
+  }
+  EXPECT_TRUE(edge) << "predict_spans no longer reaches predict";
+}
+
+// ---- stripper regressions through the full scan --------------------------
+
+TEST(LumosLint, RawStringFixtureScansClean) {
+  const auto findings =
+      scan_fixture("raw_string.cpp", "src/ml/raw_string.cpp");
+  EXPECT_TRUE(findings.empty())
+      << "unexpected finding: " << lumos::lint::format(findings.front());
+}
+
+TEST(LumosLint, SplicedIncludeCannotDodgeLayering) {
+  const auto findings =
+      scan_fixture("spliced_include.cpp", "src/ml/spliced_include.cpp");
+  EXPECT_TRUE(fires(findings, "layering"))
+      << "backslash-spliced #include dodged the layering pass";
 }
 
 TEST(LumosLint, RealTreeScansClean) {

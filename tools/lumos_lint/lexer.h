@@ -1,0 +1,70 @@
+// The shared C++ tokenizer under every lumos_lint pass.
+//
+// PR 3's checker worked on a hand-rolled comment/string stripper; the
+// multi-pass analyzer (symbols -> call graph -> reachability) needs an
+// actual token stream, and the stripper itself had two latent holes this
+// lexer closes:
+//
+//   * raw string literals: encoding prefixes (`u8R"(...)"`, `LR"..."`)
+//     were not recognized, so the opening quote started an ordinary
+//     string literal and the `)"` inside the raw body closed it early,
+//     leaking raw-string text into the scanned "code" view;
+//   * `\`-spliced preprocessor lines: `#include \` + `"sim/x.h"` dodged
+//     the layering pass entirely, because each physical line was matched
+//     in isolation.
+//
+// lex_file() produces three coordinated artifacts from one pass:
+//
+//   code       same-shaped view of the input with comments and
+//              string/char-literal bodies blanked to spaces (newlines
+//              kept), used by the line-level pattern rules;
+//   comments   the complementary view holding only comment text, used by
+//              the suppression parser;
+//   directives the *logical* preprocessor directives — line splices
+//              resolved, comments dropped, string spellings kept — used
+//              by the layering and pragma-once passes;
+//   tokens     the code token stream (identifiers, numbers, punctuation)
+//              with 1-based line numbers, used by the symbol, call-graph
+//              and reachability passes. `::` and `->` are single tokens;
+//              all other punctuation is one character per token.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lumos::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,   ///< identifier or keyword: [A-Za-z_][A-Za-z0-9_]*
+  kNumber,  ///< pp-number (integer/float/hex, rough)
+  kPunct,   ///< "::", "->", or a single punctuation character
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::uint32_t line = 0;  ///< 1-based physical line of the token start
+};
+
+/// One logical preprocessor directive. `text` starts at the `#` and has
+/// line splices resolved and comments removed; string spellings (e.g. the
+/// quoted include path) are preserved.
+struct Directive {
+  std::string text;
+  std::uint32_t line = 0;  ///< 1-based physical line of the `#`
+};
+
+struct LexedFile {
+  std::string code;      ///< physical view for pattern rules
+  std::string comments;  ///< physical view for suppression directives
+  std::vector<Directive> directives;
+  std::vector<Token> tokens;
+};
+
+/// Tokenizes one translation unit. Never fails: malformed input degrades
+/// to fewer tokens, not an error (the linter must keep scanning a tree
+/// that may not even compile yet).
+[[nodiscard]] LexedFile lex_file(const std::string& text);
+
+}  // namespace lumos::lint

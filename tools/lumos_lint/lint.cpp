@@ -9,6 +9,9 @@
 #include <sstream>
 #include <utility>
 
+#include "lexer.h"
+#include "reach.h"
+
 namespace lumos::lint {
 namespace {
 
@@ -135,98 +138,78 @@ std::vector<Rule> make_rules() {
                "",
                {},
                {}});
+
+  // ---- interprocedural passes (tools/lumos_lint/reach.cpp) ----------------
+  // These rules have no line pattern: findings come from the call-graph
+  // reachability analysis over src/. They are registered here so
+  // --list-rules documents them and allow(<id>) suppressions validate.
+  r.push_back({"hot-path-alloc",
+               "a serving hot-path root reaches a heap allocation (new, "
+               "make_unique/shared, container growth); use a preallocated "
+               "arena or bless the edge with a reason",
+               RuleKind::kAnalysis,
+               "",
+               {"src/"},
+               {}});
+  r.push_back({"hot-path-lock",
+               "a serving hot-path root reaches a mutex/lock acquisition; "
+               "only the admission edge is blessed",
+               RuleKind::kAnalysis,
+               "",
+               {"src/"},
+               {}});
+  r.push_back({"hot-path-throw",
+               "a serving hot-path root reaches a throw; hot paths report "
+               "failures as Expected<T>/lumos::Error",
+               RuleKind::kAnalysis,
+               "",
+               {"src/"},
+               {}});
+  r.push_back({"hot-path-io",
+               "a serving hot-path root reaches blocking I/O",
+               RuleKind::kAnalysis,
+               "",
+               {"src/"},
+               {}});
+  r.push_back({"hot-path-clock",
+               "a serving hot-path root reaches a wall-clock read; time is "
+               "injected via lumos::Clock at the boundary",
+               RuleKind::kAnalysis,
+               "",
+               {"src/"},
+               {}});
+  // `hot-path` is the *edge* bless id: `// lumos-lint: allow(hot-path)` on
+  // a call site stops the reachability walk from traversing that edge.
+  r.push_back({"hot-path",
+               "blesses a call edge so reachability does not walk through "
+               "it (annotate the call site, with a reason)",
+               RuleKind::kAnalysis,
+               "",
+               {"src/"},
+               {}});
+  r.push_back({"lock-order",
+               "lock acquired out of the declared order (see the "
+               "acquisition-order table in tools/lumos_lint/reach.cpp), or "
+               "an undeclared mutex is locked in serve/",
+               RuleKind::kAnalysis,
+               "",
+               {"src/serve/"},
+               {}});
+  r.push_back({"unordered-accumulate",
+               "iteration over an unordered container feeds an accumulation "
+               "or output; iteration order is implementation-defined, so "
+               "the result is irreproducible",
+               RuleKind::kAnalysis,
+               "",
+               {},
+               {}});
   return r;
 }
 
-// ---------------------------------------------------------------------------
-// Source stripping: produce two same-shaped views of the text (newlines
-// preserved), one with comments+strings blanked (for pattern rules), one
-// with everything BUT comments blanked (for suppression directives).
-// ---------------------------------------------------------------------------
-
-struct StrippedSource {
-  std::string code;      ///< comments and string/char literals -> spaces
-  std::string comments;  ///< everything except comment text -> spaces
-};
-
-StrippedSource strip(const std::string& text) {
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  StrippedSource out;
-  out.code.assign(text.size(), ' ');
-  out.comments.assign(text.size(), ' ');
-  St st = St::kCode;
-  std::string raw_delim;  // raw-string delimiter incl. closing paren
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {  // keep line structure in both views
-      out.code[i] = '\n';
-      out.comments[i] = '\n';
-      if (st == St::kLineComment) st = St::kCode;
-      continue;
-    }
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLineComment;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlockComment;
-          ++i;  // don't let "/*/" open and close at once
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!isalnum(static_cast<unsigned char>(
-                                   text[i - 1])) &&
-                               text[i - 1] != '_'))) {
-          const std::size_t open = text.find('(', i + 2);
-          if (open != std::string::npos) {
-            raw_delim = ")" + text.substr(i + 2, open - (i + 2)) + "\"";
-            st = St::kRaw;
-            i = open;  // chars up to '(' dropped from both views
-          } else {
-            out.code[i] = c;
-          }
-        } else if (c == '"') {
-          st = St::kString;
-        } else if (c == '\'') {
-          st = St::kChar;
-        } else {
-          out.code[i] = c;
-        }
-        break;
-      case St::kLineComment:
-        out.comments[i] = c;
-        break;
-      case St::kBlockComment:
-        out.comments[i] = c;
-        if (c == '*' && next == '/') {
-          out.comments[i + 1] = '/';
-          ++i;
-          st = St::kCode;
-        }
-        break;
-      case St::kString:
-        if (c == '\\') {
-          ++i;  // skip escaped char (stays blank)
-        } else if (c == '"') {
-          st = St::kCode;
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-        }
-        break;
-      case St::kRaw:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size() - 1;
-          st = St::kCode;
-        }
-        break;
-    }
-  }
-  return out;
-}
+// Source views come from the shared lexer (lexer.h): `code` with comments
+// and literal bodies blanked (pattern rules), `comments` with only comment
+// text (suppression directives), and the logical preprocessor `directives`
+// (layering / pragma-once — splice-proof).
 
 std::vector<std::string> split_lines(const std::string& s) {
   std::vector<std::string> lines;
@@ -294,7 +277,8 @@ Suppressions parse_suppressions(const std::string& path,
       if (!known) {
         sup.bad.push_back({path, i + 1, "bad-suppression",
                            trim(comment_lines[i]),
-                           "suppression names unknown rule '" + id + "'"});
+                           "suppression names unknown rule '" + id + "'",
+                           {}});
         continue;
       }
       if (file_wide) {
@@ -315,8 +299,7 @@ bool suppressed(const Suppressions& sup, std::size_t line,
 }
 
 void check_layering(const std::string& path,
-                    const std::vector<std::string>& code_lines,
-                    const std::vector<std::string>& raw_lines,
+                    const std::vector<Directive>& directives,
                     const Rule& rule, const Suppressions& sup,
                     std::vector<Finding>& out) {
   const Layer* layer = nullptr;
@@ -327,32 +310,24 @@ void check_layering(const std::string& path,
     }
   }
   if (layer == nullptr) return;  // outside the layered area
-  // Matched against the code view, where the quoted path is blanked — so
-  // only `#include` itself can be required here; the path comes from the
-  // raw line below.
-  static const std::regex kInclude(
-      R"rx(^[[:space:]]*#[[:space:]]*include([^_[:alnum:]]|$))rx");
+  // Matched against the *logical* directive text: line splices are already
+  // resolved and commented-out includes never become directives, so a
+  // `#include \`<newline>`"sim/x.h"` split cannot dodge the check.
   static const std::regex kIncludePath(
-      R"rx(^[[:space:]]*#[[:space:]]*include[[:space:]]*"([^"]+)")rx");
-  for (std::size_t i = 0; i < code_lines.size(); ++i) {
-    // The directive must survive comment-stripping (a commented-out
-    // include is not a dependency), but the quoted path itself is blanked
-    // in the code view, so recover it from the raw line.
-    if (!std::regex_search(code_lines[i], kInclude)) continue;
+      R"rx(^#[[:space:]]*include[[:space:]]*"([^"]+)")rx");
+  for (const Directive& d : directives) {
     std::smatch m;
-    if (i >= raw_lines.size() || !std::regex_search(raw_lines[i], m,
-                                                    kIncludePath)) {
-      continue;
-    }
+    if (!std::regex_search(d.text, m, kIncludePath)) continue;
     const std::string inc = m[1].str();
     const bool ok = std::any_of(
         layer->allowed.begin(), layer->allowed.end(), [&](const char* p) {
           return inc.compare(0, std::string(p).size(), p) == 0;
         });
-    if (!ok && !suppressed(sup, i + 1, rule.id)) {
-      out.push_back({path, i + 1, rule.id, trim(raw_lines[i]),
+    if (!ok && !suppressed(sup, d.line, rule.id)) {
+      out.push_back({path, d.line, rule.id, trim(d.text),
                      "'" + inc + "' is not an allowed dependency of " +
-                         layer->dir});
+                         layer->dir,
+                     {}});
     }
   }
 }
@@ -367,7 +342,7 @@ const std::vector<Rule>& default_rules() {
 std::vector<Finding> scan_file(const std::string& path,
                                const std::string& text,
                                const std::vector<Rule>& rules) {
-  const StrippedSource views = strip(text);
+  const LexedFile views = lex_file(text);
   const auto code_lines = split_lines(views.code);
   const auto comment_lines = split_lines(views.comments);
   const auto raw_lines = split_lines(text);
@@ -391,26 +366,30 @@ std::vector<Finding> scan_file(const std::string& path,
               !suppressed(sup, i + 1, rule.id)) {
             out.push_back({path, i + 1, rule.id,
                            trim(i < raw_lines.size() ? raw_lines[i] : ""),
-                           rule.summary});
+                           rule.summary,
+                           {}});
           }
         }
         break;
       }
       case RuleKind::kLayering:
-        check_layering(path, code_lines, raw_lines, rule, sup, out);
+        check_layering(path, views.directives, rule, sup, out);
         break;
       case RuleKind::kPragmaOnce: {
         const bool found = std::any_of(
-            code_lines.begin(), code_lines.end(), [](const std::string& l) {
+            views.directives.begin(), views.directives.end(),
+            [](const Directive& d) {
               static const std::regex kPragma(
-                  R"(^[[:space:]]*#[[:space:]]*pragma[[:space:]]+once)");
-              return std::regex_search(l, kPragma);
+                  R"(^#[[:space:]]*pragma[[:space:]]+once)");
+              return std::regex_search(d.text, kPragma);
             });
         if (!found && !suppressed(sup, 1, rule.id)) {
-          out.push_back({path, 1, rule.id, "", rule.summary});
+          out.push_back({path, 1, rule.id, "", rule.summary, {}});
         }
         break;
       }
+      case RuleKind::kAnalysis:
+        break;  // whole-program: produced by analyze_sources(), not here
     }
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
@@ -438,6 +417,7 @@ std::vector<Finding> scan_tree(const std::filesystem::path& root,
   std::sort(files.begin(), files.end());
 
   std::vector<Finding> out;
+  std::vector<SourceFile> lib_sources;  // src/ only: the analyzed program
   for (const std::string& rel : files) {
     std::ifstream in(root / rel, std::ios::binary);
     std::ostringstream text;
@@ -445,7 +425,21 @@ std::vector<Finding> scan_tree(const std::filesystem::path& root,
     auto found = scan_file(rel, text.str(), rules);
     out.insert(out.end(), std::make_move_iterator(found.begin()),
                std::make_move_iterator(found.end()));
+    if (rel.compare(0, 4, "src/") == 0) {
+      lib_sources.push_back({rel, text.str()});
+    }
   }
+
+  // Interprocedural passes run over src/ as one program (tests/, bench/
+  // and tools/ are not on the serving path and would only add noise).
+  auto analysis = analyze_sources(lib_sources, rules);
+  out.insert(out.end(), std::make_move_iterator(analysis.begin()),
+             std::make_move_iterator(analysis.end()));
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.rule) <
+           std::tie(b.path, b.line, b.rule);
+  });
   return out;
 }
 
@@ -453,6 +447,7 @@ std::string format(const Finding& f) {
   std::string s = f.path + ":" + std::to_string(f.line) + ": [" + f.rule +
                   "] " + f.excerpt;
   if (!f.message.empty()) s += "\n    — " + f.message;
+  for (const std::string& hop : f.chain) s += "\n      " + hop;
   return s;
 }
 

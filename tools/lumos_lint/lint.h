@@ -1,12 +1,15 @@
 // lumos_lint — the repo's own static checker for the invariants the test
 // suite cannot see locally: sources of nondeterminism that would break the
 // bit-identical-at-any-thread-count guarantee, error-discipline violations
-// on the query path, and include-layering breaks between subsystems.
+// on the query path, include-layering breaks between subsystems, and —
+// since the multi-pass rework — *reachability* proofs that the serving hot
+// path stays allocation-, lock-, throw-, I/O- and wall-clock-free.
 //
-// The checker is deliberately token/regex-level (no libclang): it scans
-// comment- and string-stripped source lines against a checked-in rule
-// table, so it builds and runs in the offline CI container in milliseconds
-// and is registered as an ordinary ctest (`ctest -L lint`).
+// The checker is deliberately libclang-free: a shared tokenizer (lexer.h)
+// feeds both the line-level pattern rules and the structural passes
+// (symbols.h -> callgraph.h -> reach.h), so it builds and runs in the
+// offline CI container in milliseconds and is registered as an ordinary
+// ctest (`ctest -L lint`).
 //
 // Suppressing a rule at a specific site:
 //   code();  // lumos-lint: allow(<rule-id>) reason for the exemption
@@ -27,6 +30,7 @@ enum class RuleKind {
   kPattern,     ///< regex over stripped source lines
   kLayering,    ///< quoted-include prefixes vs. the layer table
   kPragmaOnce,  ///< headers must contain #pragma once
+  kAnalysis,    ///< whole-program pass (reach.h), not a per-line scan
 };
 
 struct Rule {
@@ -48,6 +52,17 @@ struct Finding {
   std::string rule;
   std::string excerpt;  ///< offending source line, whitespace-trimmed
   std::string message;
+  /// For reachability findings: the call chain from a hot-path root to the
+  /// banned effect, one human-readable hop per entry (root first). Empty
+  /// for line-level findings.
+  std::vector<std::string> chain;
+};
+
+/// One in-memory source file handed to the whole-program passes (reach.h);
+/// `path` is repo-relative and does not have to exist on disk.
+struct SourceFile {
+  std::string path;
+  std::string text;
 };
 
 /// The checked-in rule table (see lint.cpp for the layer table it uses).

@@ -1,24 +1,75 @@
 // lumos_lint CLI. Exit status 0 = clean, 1 = findings, 2 = usage error.
 //
-//   lumos_lint --root <repo>     scan src/ tests/ bench/ tools/ under repo
-//   lumos_lint --list-rules      print the rule table
+//   lumos_lint --root <repo>       scan src/ tests/ bench/ tools/ under repo
+//   lumos_lint --list-rules        print the rule table
+//   lumos_lint --format=json       one JSON object per finding per line
+//                                  (path, line, rule, message, chain);
+//                                  default is the human-readable format
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "lint.h"
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const lumos::lint::Finding& f) {
+  std::string s = "{\"path\":\"" + json_escape(f.path) + "\",\"line\":" +
+                  std::to_string(f.line) + ",\"rule\":\"" +
+                  json_escape(f.rule) + "\",\"excerpt\":\"" +
+                  json_escape(f.excerpt) + "\",\"message\":\"" +
+                  json_escape(f.message) + "\",\"chain\":[";
+  for (std::size_t i = 0; i < f.chain.size(); ++i) {
+    if (i != 0) s += ',';
+    s += '"' + json_escape(f.chain[i]) + '"';
+  }
+  s += "]}";
+  return s;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root = ".";
   bool list_rules = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       list_rules = true;
+    } else if (std::strcmp(argv[i], "--format=json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--format=human") == 0) {
+      json = false;
     } else {
       std::fprintf(stderr,
-                   "usage: lumos_lint [--root DIR] [--list-rules]\n");
+                   "usage: lumos_lint [--root DIR] [--list-rules] "
+                   "[--format=json|human]\n");
       return 2;
     }
   }
@@ -33,8 +84,13 @@ int main(int argc, char** argv) {
 
   const auto findings = lumos::lint::scan_tree(root, rules);
   for (const auto& f : findings) {
-    std::printf("%s\n", lumos::lint::format(f).c_str());
+    if (json) {
+      std::printf("%s\n", to_json(f).c_str());
+    } else {
+      std::printf("%s\n", lumos::lint::format(f).c_str());
+    }
   }
+  if (json) return findings.empty() ? 0 : 1;
   if (findings.empty()) {
     std::printf("lumos_lint: clean (%zu rules)\n", rules.size());
     return 0;

@@ -1,0 +1,70 @@
+// Symbol pass: function/method definitions and class shapes per file.
+//
+// extract_symbols() walks one file's token stream with a scope stack
+// (namespaces — including `namespace a::b` —, classes/structs with base
+// lists, enums) and records:
+//
+//   * every function/method *definition* (a body, not a declaration) with
+//     its qualified name, its enclosing class, and the token range of its
+//     body — the call-graph pass (callgraph.h) scans exactly that range;
+//   * every class with its base-class names (virtual-dispatch resolution:
+//     a call through a `Clock*` member may land in any derived override)
+//     and a member-name -> type-hint map. The hint is the *last*
+//     non-builtin identifier of the declared type, which deliberately
+//     names the element type for containers (`std::vector<FlatForest>
+//     per_class_` hints FlatForest) — exactly what `per_class_[c].m(...)`
+//     receiver resolution needs;
+//   * the quoted includes (the include graph used for edge resolution).
+//
+// Qualified names drop the repo-wide `lumos::` prefix, so the hot-path
+// roots table reads naturally (`serve::Server::submit`). The parser is
+// heuristic by design: on input it cannot classify it records nothing
+// rather than guessing (precision over recall — a missed symbol weakens
+// one edge, a wrong one poisons the graph).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace lumos::lint {
+
+struct FunctionDef {
+  std::string qual;  ///< e.g. "serve::Server::submit" (lumos:: stripped)
+  std::string name;  ///< e.g. "submit"
+  std::string cls;   ///< enclosing class qual ("serve::Server") or ""
+  std::uint32_t line = 0;      ///< line of the body's opening brace
+  std::size_t sig_begin = 0;   ///< first token of the declaration (for
+                               ///< parameter type hints)
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+};
+
+struct ClassDef {
+  std::string qual;  ///< e.g. "serve::Predictor::FlatTier"
+  std::string name;  ///< last segment
+  std::vector<std::string> bases;  ///< base-class short names
+  /// member name -> type-hint short name (see header comment).
+  std::map<std::string, std::string> members;
+  /// members declared with an unordered container type (determinism pass).
+  std::vector<std::string> unordered_members;
+};
+
+struct FileSymbols {
+  std::string path;
+  std::vector<FunctionDef> functions;
+  std::vector<ClassDef> classes;
+  std::vector<std::string> includes;  ///< quoted include paths
+};
+
+[[nodiscard]] FileSymbols extract_symbols(const std::string& path,
+                                          const LexedFile& lexed);
+
+/// True for identifiers that never make useful type hints: cv/storage
+/// keywords, builtin types, and std vocabulary/container names.
+[[nodiscard]] bool is_hint_noise(const std::string& ident);
+
+}  // namespace lumos::lint

@@ -4,8 +4,9 @@
 # not a failure — lumos_lint covers the repo-specific invariants there.
 #
 # Usage: tools/run_clang_tidy.sh [build-dir]
-#   build-dir must contain compile_commands.json (configure with
-#   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON); defaults to build/.
+#   build-dir must contain compile_commands.json; the root CMakeLists sets
+#   CMAKE_EXPORT_COMPILE_COMMANDS=ON, so any configured build dir has one.
+#   Defaults to build/.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
