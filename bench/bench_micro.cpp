@@ -18,9 +18,12 @@
 #include "data/features.h"
 #include "data/quality.h"
 #include "sim/faults.h"
+#include "data/column_store.h"
+#include "ml/binned.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/knn.h"
+#include "ml/tree.h"
 #include "nn/seq2seq.h"
 #include "serve/flat_model.h"
 #include "serve/model_io.h"
@@ -317,6 +320,107 @@ BENCHMARK(BM_FlatVsPointerPredict)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- columnar feature store (DESIGN §11) ----
+//
+// The histogram build is the inner loop of every tree fit. Arg(0) builds
+// one tree over row-major uint16 codes (the seed layout: a d-strided walk
+// per candidate feature); Arg(1) over the pre-binned SoA BinnedMatrix
+// (one contiguous, usually uint8, column per feature). The fitted trees
+// are bit-identical (tests/test_columnar.cpp); only the memory walk
+// differs, so the Arg(0)/Arg(1) ratio is the layout win.
+void BM_HistogramBuild(benchmark::State& state) {
+  // Sized like a wide training campaign (full L+M+C expansion plus lag
+  // features): the row-major codes (rows x cols x 2B = 4 MB, 128 B row
+  // stride) spill the cache, while one columnar uint8 column (32 KB)
+  // stays resident.
+  constexpr std::size_t kRows = 32768;
+  constexpr std::size_t kCols = 64;
+  static const ml::FeatureMatrix* x = [] {
+    auto* m = new ml::FeatureMatrix(kRows, kCols);
+    Rng rng(7);
+    for (std::size_t r = 0; r < kRows; ++r) {
+      const auto row = m->row(r);
+      for (std::size_t f = 0; f < kCols; ++f) row[f] = rng.normal(0.0, 1.0);
+    }
+    return m;
+  }();
+  static const std::vector<double>* grad = [] {
+    auto* g = new std::vector<double>(kRows);
+    Rng rng(8);
+    for (auto& v : *g) v = rng.normal(0.0, 1.0);
+    return g;
+  }();
+  static const std::vector<double> hess(kRows, 1.0);
+  static const std::vector<std::size_t>* indices = [] {
+    auto* idx = new std::vector<std::size_t>(kRows);
+    for (std::size_t i = 0; i < kRows; ++i) (*idx)[i] = i;
+    return idx;
+  }();
+  static const ml::BinMapper* mapper = [] {
+    auto* m = new ml::BinMapper;
+    m->fit(*x, 128);  // codes fit uint8: every columnar column is narrow
+    return m;
+  }();
+  static const std::vector<std::uint16_t> codes = mapper->encode(*x);
+  static const ml::BinnedMatrix binned = ml::BinnedMatrix::build(*mapper, *x);
+  ml::TreeConfig cfg;
+  // Shallow tree: the big sequential root-level histogram passes dominate,
+  // which is the kernel under measurement (deeper levels shrink nodes into
+  // cache, where layout stops mattering and tree bookkeeping takes over).
+  cfg.max_depth = 3;
+  const long mode = state.range(0);
+  for (auto _ : state) {
+    ml::GradientTree tree;
+    if (mode == 0) {
+      tree.fit(codes, *mapper, *grad, hess, *indices, cfg);
+    } else {
+      tree.fit(binned, *mapper, *grad, hess, *indices, cfg);
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRows));
+}
+BENCHMARK(BM_HistogramBuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Serving-side layout comparison over the same flattened 300-tree GBDT:
+//   Arg(0)  per-row predict() over row-major feature rows
+//   Arg(1)  predict_columnar() over a ColumnStore (level-synchronous row
+//           blocks over contiguous feature columns)
+// Outputs are bit-identical (tests/test_columnar.cpp).
+void BM_ColumnarVsRowPredict(benchmark::State& state) {
+  static const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M+C"), {});
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = 300;
+  static ml::GbdtRegressor* model = nullptr;
+  if (model == nullptr) {
+    model = new ml::GbdtRegressor(cfg);
+    model->fit(built.x, built.y_reg);
+  }
+  static const serve::FlatForest flat = serve::FlatForest::flatten(*model);
+  static const data::ColumnStore cols =
+      data::ColumnStore::from_matrix(built.x);
+  static std::vector<double> out(built.x.rows());
+  const long mode = state.range(0);
+  for (auto _ : state) {
+    if (mode == 0) {
+      for (std::size_t r = 0; r < built.x.rows(); ++r) {
+        out[r] = flat.predict(built.x.row(r));
+      }
+    } else {
+      flat.predict_columnar(cols.block(0, built.x.rows()), out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(built.x.rows()));
+}
+BENCHMARK(BM_ColumnarVsRowPredict)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // Shared serving fixtures: one trained T+M+C facade and its compiled

@@ -40,7 +40,14 @@ class Dataset {
   const std::vector<SampleRecord>& samples() const noexcept { return samples_; }
 
   void append(SampleRecord rec) { samples_.push_back(std::move(rec)); }
+
+  /// Pre-sizes the backing store for `n` total samples (append/append_all
+  /// then grow without reallocating until that capacity is exceeded).
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t capacity() const noexcept { return samples_.capacity(); }
+
   void append_all(const Dataset& other) {
+    samples_.reserve(samples_.size() + other.samples_.size());
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
   }

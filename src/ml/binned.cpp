@@ -1,0 +1,43 @@
+#include "ml/binned.h"
+
+#include "ml/tree.h"
+
+namespace lumos::ml {
+
+BinnedMatrix BinnedMatrix::build(const BinMapper& mapper,
+                                 const FeatureMatrix& x) {
+  BinnedMatrix b;
+  b.rows_ = x.rows();
+  b.cols_ = x.cols();
+  b.missing_code_ = mapper.missing_code();
+  b.narrow_.assign(b.cols_, 0);
+  b.offset_.assign(b.cols_, 0);
+
+  // Two passes per column: encode into a scratch column and find its max
+  // code, then append to the pool whose width that max selects. Encoding
+  // happens exactly once per (row, feature) — the point of the store.
+  std::vector<std::uint16_t> scratch(b.rows_);
+  for (std::size_t f = 0; f < b.cols_; ++f) {
+    std::uint16_t max_code = 0;
+    for (std::size_t r = 0; r < b.rows_; ++r) {
+      const std::uint16_t c = mapper.bin(f, x.at(r, f));
+      scratch[r] = c;
+      if (c > max_code) max_code = c;
+    }
+    if (max_code <= 255) {
+      b.narrow_[f] = 1;
+      b.offset_[f] = b.pool8_.size();
+      b.pool8_.reserve(b.pool8_.size() + b.rows_);
+      for (std::size_t r = 0; r < b.rows_; ++r) {
+        b.pool8_.push_back(static_cast<std::uint8_t>(scratch[r]));
+      }
+    } else {
+      b.narrow_[f] = 0;
+      b.offset_[f] = b.pool16_.size();
+      b.pool16_.insert(b.pool16_.end(), scratch.begin(), scratch.end());
+    }
+  }
+  return b;
+}
+
+}  // namespace lumos::ml

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "ml/binned.h"
 
 namespace lumos::ml {
 namespace {
@@ -36,7 +37,8 @@ std::vector<std::uint64_t> tree_seeds(std::uint64_t seed, std::size_t n) {
 void RandomForestRegressor::fit(const FeatureMatrix& x,
                                 std::span<const double> y) {
   mapper_.fit(x, cfg_.n_bins);
-  const auto codes = mapper_.encode(x);
+  // One columnar quantization shared by every tree of the forest.
+  const auto binned = BinnedMatrix::build(mapper_, x);
   std::vector<double> hess(x.rows(), 1.0);
 
   TreeConfig tc;
@@ -51,7 +53,7 @@ void RandomForestRegressor::fit(const FeatureMatrix& x,
     for (std::size_t t = tb; t < te; ++t) {
       Rng rng(seeds[t]);
       const auto idx = bootstrap(x.rows(), cfg_.bootstrap_fraction, rng);
-      trees_[t].fit(codes, mapper_, y, hess, idx, tc, &rng);
+      trees_[t].fit(binned, mapper_, y, hess, idx, tc, &rng);
     }
   });
 }
@@ -67,7 +69,7 @@ void RandomForestClassifier::fit(const FeatureMatrix& x,
                                  std::span<const int> y, int n_classes) {
   n_classes_ = n_classes;
   mapper_.fit(x, cfg_.n_bins);
-  const auto codes = mapper_.encode(x);
+  const auto binned = BinnedMatrix::build(mapper_, x);
   std::vector<double> hess(x.rows(), 1.0);
 
   TreeConfig tc;
@@ -89,7 +91,7 @@ void RandomForestClassifier::fit(const FeatureMatrix& x,
         }
         trees_[t * static_cast<std::size_t>(n_classes) +
                static_cast<std::size_t>(c)]
-            .fit(codes, mapper_, indicator, hess, idx, tc, &rng);
+            .fit(binned, mapper_, indicator, hess, idx, tc, &rng);
       }
     }
   });

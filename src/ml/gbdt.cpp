@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "common/parallel.h"
+#include "ml/binned.h"
 
 namespace lumos::ml {
 namespace {
@@ -48,8 +49,11 @@ void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
   if (n == 0) return;  // empty training set: predict the 0 base margin
 
   mapper_.fit(x, cfg_.n_bins);
-  const auto codes = mapper_.encode(x);
-  const std::size_t d = x.cols();
+  // Quantize once into the columnar store; every boosting round reuses the
+  // same contiguous code columns for its histogram builds and its margin
+  // update (bit-identical to the old row-major code path — see
+  // tests/test_columnar.cpp).
+  const auto binned = BinnedMatrix::build(mapper_, x);
 
   for (double v : y) base_ += v;
   base_ /= static_cast<double>(n);
@@ -68,14 +72,13 @@ void GbdtRegressor::fit(const FeatureMatrix& x, std::span<const double> y) {
   for (auto& tree : trees_) {
     for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - pred[i];
     const auto idx = row_sample(n, cfg_.subsample, rng);
-    tree.fit(codes, mapper_, residual, hess, idx, tc, &rng);
-    // Margin update on the pre-binned codes: reaches the same leaves as
+    tree.fit(binned, mapper_, residual, hess, idx, tc, &rng);
+    // Margin update on the pre-binned columns: reaches the same leaves as
     // re-traversing the raw rows, without re-binning every round. Rows are
     // independent, so chunking across the pool keeps results identical.
     parallel_for(0, n, 2048, [&](std::size_t b, std::size_t e) {
       for (std::size_t i = b; i < e; ++i) {
-        pred[i] += cfg_.learning_rate *
-                   tree.predict_binned({&codes[i * d], d});
+        pred[i] += cfg_.learning_rate * tree.predict_binned(binned, i);
       }
     });
   }
@@ -116,8 +119,7 @@ void GbdtClassifier::fit(const FeatureMatrix& x, std::span<const int> y,
   if (n == 0) return;  // empty training set: predict the prior argmax
 
   mapper_.fit(x, cfg_.n_bins);
-  const auto codes = mapper_.encode(x);
-  const std::size_t d = x.cols();
+  const auto binned = BinnedMatrix::build(mapper_, x);
 
   // margins[i * kc + c]
   std::vector<double> margin(n * kc);
@@ -157,14 +159,13 @@ void GbdtClassifier::fit(const FeatureMatrix& x, std::span<const int> y,
         }
       });
       GradientTree& tree = trees_[stage * kc + c];
-      tree.fit(codes, mapper_, grad, hess, idx, tc, &rng);
+      tree.fit(binned, mapper_, grad, hess, idx, tc, &rng);
       const double lr_scale =
           cfg_.learning_rate * static_cast<double>(kc - 1) /
           static_cast<double>(kc);
       parallel_for(0, n, 2048, [&](std::size_t rb, std::size_t re) {
         for (std::size_t i = rb; i < re; ++i) {
-          margin[i * kc + c] += lr_scale *
-                                tree.predict_binned({&codes[i * d], d});
+          margin[i * kc + c] += lr_scale * tree.predict_binned(binned, i);
         }
       });
     }

@@ -17,6 +17,8 @@
 
 namespace lumos::ml {
 
+class BinnedMatrix;
+
 /// Quantile-based feature binning shared by all trees of an ensemble.
 /// NaN feature values are first-class citizens: fit() learns quantiles
 /// from the finite values only, and bin() maps NaN to a dedicated
@@ -107,6 +109,19 @@ class GradientTree {
            std::span<const std::size_t> indices, const TreeConfig& cfg,
            Rng* rng = nullptr);
 
+  /// Columnar fit: the same algorithm over a pre-binned SoA store
+  /// (ml::BinnedMatrix). The histogram build becomes a tight loop over one
+  /// contiguous (often uint8) code column per candidate feature instead of
+  /// a d-strided walk through row-major codes. Rows are accumulated in the
+  /// same order as the row-major overload, per-feature work is reduced in
+  /// fixed feature order, and the split scan is shared code — so the
+  /// fitted tree is bit-identical to fit(codes, ...) on the same data at
+  /// any LUMOS_THREADS setting (tests/test_columnar.cpp).
+  void fit(const BinnedMatrix& binned, const BinMapper& mapper,
+           std::span<const double> grad, std::span<const double> hess,
+           std::span<const std::size_t> indices, const TreeConfig& cfg,
+           Rng* rng = nullptr);
+
   /// Predicts from a raw feature row. A NaN value takes the split's
   /// learned default branch (Node::default_left) instead of the
   /// comparison fallthrough.
@@ -120,6 +135,22 @@ class GradientTree {
   /// avoid re-binning every training row each round.
   [[nodiscard]] double predict_binned(std::span<const std::uint16_t> row_codes)
       const noexcept;
+
+  /// Same leaf walk over one row of a columnar code store. Reaches the
+  /// same leaf as predict_binned on the equivalent row-major codes; the
+  /// boosting loops use it so the margin update never materializes
+  /// row-major codes.
+  [[nodiscard]] double predict_binned(const BinnedMatrix& binned,
+                                      std::size_t row) const noexcept;
+
+  /// Batched leaf assignment over every row of the store: out[r] is the
+  /// leaf value row r reaches. Rows are chunked over the global thread
+  /// pool; each slot is written once, so the output is identical at any
+  /// LUMOS_THREADS. Rows ascend within a chunk, so each visited code
+  /// column is read at monotonically increasing offsets (cache-friendly,
+  /// unlike a row-major gather).
+  void predict_binned_all(const BinnedMatrix& binned,
+                          std::span<double> out) const;
 
   /// Adds each split's gain to `gain_by_feature` (size = n_features).
   void accumulate_gain(std::span<double> gain_by_feature) const noexcept;
@@ -152,6 +183,18 @@ class GradientTree {
     double gain = 0.0;
     bool default_left = false;  ///< where the missing bin goes
   };
+
+  /// Shared fit body. `Source` supplies the code layout: a histogram
+  /// accumulator (per candidate feature, over an index range) and a
+  /// single-code lookup (for partitioning). Both public fit overloads
+  /// instantiate it in tree.cpp; the split scan, reduction order, and
+  /// partition logic are one piece of code, which is what guarantees the
+  /// row and columnar paths stay bit-identical.
+  template <class Source>
+  void fit_impl(const Source& src, const BinMapper& mapper,
+                std::span<const double> grad, std::span<const double> hess,
+                std::span<const std::size_t> indices, const TreeConfig& cfg,
+                Rng* rng);
 
   std::vector<Node> nodes_;
   std::vector<double> gains_;  ///< gain of the split at each internal node

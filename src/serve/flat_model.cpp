@@ -126,6 +126,66 @@ std::vector<double> FlatForest::predict_batch(
   return out;
 }
 
+void FlatForest::eval_block(const data::ColumnBlock& block, std::size_t row0,
+                            std::size_t m, double* acc) const noexcept {
+  const bool mean = agg_ == Aggregate::kMean;
+  const double init = mean ? 0.0 : base_;
+  for (std::size_t j = 0; j < m; ++j) acc[j] = init;
+  if (roots_.empty()) return;  // mean-of-nothing stays 0.0, like predict()
+
+  const FlatNode* nodes = nodes_.data();
+  std::uint32_t cur[kColumnarRowBlock];
+  for (const std::uint32_t root : roots_) {
+    for (std::size_t j = 0; j < m; ++j) cur[j] = root;
+    // Level-synchronous walk: one pass moves every still-internal row one
+    // level down. Rows are independent, so the feature gathers of a pass
+    // overlap; rows that reached a leaf park there (feature < 0).
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t j = 0; j < m; ++j) {
+        const FlatNode& n = nodes[cur[j]];
+        if (n.feature < 0) continue;
+        const double v = block.col(static_cast<std::size_t>(n.feature))[row0 + j];
+        const std::uint32_t left = n.left & FlatNode::kChildMask;
+        const bool go_left = std::isnan(v)
+                                 ? (n.left & FlatNode::kDefaultLeftBit) != 0U
+                                 : v <= n.value;
+        cur[j] = left + (go_left ? 0U : 1U);
+        any = true;
+      }
+    }
+    // Fold this tree's leaves in tree order — the accumulation order of
+    // predict(), so the block result is bit-identical per row.
+    if (mean) {
+      for (std::size_t j = 0; j < m; ++j) acc[j] += nodes[cur[j]].value;
+    } else {
+      for (std::size_t j = 0; j < m; ++j) {
+        acc[j] += scale_ * nodes[cur[j]].value;
+      }
+    }
+  }
+  if (mean) {
+    const double n_trees = static_cast<double>(roots_.size());
+    for (std::size_t j = 0; j < m; ++j) acc[j] /= n_trees;
+  }
+}
+
+void FlatForest::predict_columnar(const data::ColumnBlock& block,
+                                  std::span<double> out) const {
+  LUMOS_EXPECTS(out.size() >= block.n_rows,
+                "FlatForest::predict_columnar: one output slot per row");
+  parallel_for(0, block.n_rows, kColumnarRowBlock,
+               [&](std::size_t b, std::size_t e) {
+    for (std::size_t j0 = b; j0 < e; j0 += kColumnarRowBlock) {
+      const std::size_t m = std::min(kColumnarRowBlock, e - j0);
+      double acc[kColumnarRowBlock];
+      eval_block(block, j0, m, acc);
+      for (std::size_t j = 0; j < m; ++j) out[j0 + j] = acc[j];
+    }
+  });
+}
+
 FlatClassifier FlatClassifier::flatten(const ml::GbdtClassifier& model) {
   FlatClassifier c;
   const int kc = model.n_classes();
@@ -185,6 +245,38 @@ int FlatClassifier::predict(std::span<const double> row) const noexcept {
     }
   }
   return best;
+}
+
+void FlatClassifier::predict_columnar(const data::ColumnBlock& block,
+                                      std::span<int> out) const {
+  LUMOS_EXPECTS(out.size() >= block.n_rows,
+                "FlatClassifier::predict_columnar: one output slot per row");
+  if (per_class_.empty()) {
+    for (std::size_t r = 0; r < block.n_rows; ++r) out[r] = 0;
+    return;
+  }
+  parallel_for(0, block.n_rows, kColumnarRowBlock,
+               [&](std::size_t b, std::size_t e) {
+    for (std::size_t j0 = b; j0 < e; j0 += kColumnarRowBlock) {
+      const std::size_t m = std::min(kColumnarRowBlock, e - j0);
+      double best[kColumnarRowBlock];
+      double score[kColumnarRowBlock];
+      int best_class[kColumnarRowBlock];
+      per_class_[0].eval_block(block, j0, m, best);
+      for (std::size_t j = 0; j < m; ++j) best_class[j] = 0;
+      // First-max-wins argmax across classes, matching predict().
+      for (std::size_t c = 1; c < per_class_.size(); ++c) {
+        per_class_[c].eval_block(block, j0, m, score);
+        for (std::size_t j = 0; j < m; ++j) {
+          if (score[j] > best[j]) {
+            best[j] = score[j];
+            best_class[j] = static_cast<int>(c);
+          }
+        }
+      }
+      for (std::size_t j = 0; j < m; ++j) out[j0 + j] = best_class[j];
+    }
+  });
 }
 
 std::vector<int> FlatClassifier::predict_batch(

@@ -18,12 +18,20 @@
 #include <span>
 #include <vector>
 
+#include "data/column_store.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/tree.h"
 #include "ml/types.h"
 
 namespace lumos::serve {
+
+/// Rows evaluated together by the columnar batch kernels: a block's
+/// per-row cursors and accumulators live in fixed stack arrays, and each
+/// tree is walked level-synchronously across the whole block (the rows'
+/// traversals are independent, so the per-level gathers overlap instead
+/// of serializing on one row's dependency chain).
+inline constexpr std::size_t kColumnarRowBlock = 64;
 
 /// One node, 16 bytes. Internal nodes: `value` is the split threshold,
 /// `feature` >= 0, `left` encodes the left-child index in its low 31 bits
@@ -73,10 +81,31 @@ class FlatForest {
   [[nodiscard]] std::vector<double> predict_batch(
       const ml::FeatureMatrix& x) const;
 
+  /// Columnar batch predict: out[r] receives row r's prediction,
+  /// bit-identical to predict() on the equivalent contiguous row (same
+  /// per-tree accumulation order, same NaN default routing). Rows are
+  /// evaluated in blocks of kColumnarRowBlock — per block, every tree is
+  /// walked one level at a time across all rows, reading feature values
+  /// from the block's contiguous columns. Allocation-free (stack cursors
+  /// only); blocks are chunked over the global thread pool and each out
+  /// slot is written once, so the result is identical at any
+  /// LUMOS_THREADS. Requires out.size() >= block.n_rows. A root in the
+  /// lint hot-path reachability proof.
+  void predict_columnar(const data::ColumnBlock& block,
+                        std::span<double> out) const;
+
   std::size_t n_trees() const noexcept { return roots_.size(); }
   std::size_t n_nodes() const noexcept { return nodes_.size(); }
 
  private:
+  friend class FlatClassifier;
+
+  /// Evaluates rows [row0, row0 + m) of `block` into acc[0..m);
+  /// m <= kColumnarRowBlock. The per-row result is bit-identical to
+  /// predict() on that row.
+  void eval_block(const data::ColumnBlock& block, std::size_t row0,
+                  std::size_t m, double* acc) const noexcept;
+
   std::vector<FlatNode> nodes_;
   std::vector<std::uint32_t> roots_;  ///< root node index per tree
   Aggregate agg_ = Aggregate::kScaledSum;
@@ -104,6 +133,13 @@ class FlatClassifier {
   /// Batch predict over the global thread pool (deterministic).
   [[nodiscard]] std::vector<int> predict_batch(
       const ml::FeatureMatrix& x) const;
+
+  /// Columnar batch predict: out[r] is row r's class, bit-identical to
+  /// predict() (per-class scores via the same block kernel, first-max-wins
+  /// argmax). Allocation-free; requires out.size() >= block.n_rows. A
+  /// root in the lint hot-path reachability proof.
+  void predict_columnar(const data::ColumnBlock& block,
+                        std::span<int> out) const;
 
   int n_classes() const noexcept { return static_cast<int>(per_class_.size()); }
   std::size_t n_nodes() const noexcept;

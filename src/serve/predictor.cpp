@@ -61,6 +61,11 @@ Expected<core::Prediction> Predictor::predict(
     p.feature_group = tier_names_[i];  // SSO copy: tier names are short
     return p;
   }
+  return tail_predict(recent);
+}
+
+Expected<core::Prediction> Predictor::tail_predict(
+    std::span<const data::SampleRecord> recent) const {
   if (fallback_.enabled && fallback_.harmonic_tail) {
     // Same harmonic tail as the facade: harmonic mean of the most recent
     // positive finite throughputs.
@@ -99,6 +104,76 @@ void Predictor::predict_spans(
       out[i] = predict(windows[i], min_tier);
     }
   });
+}
+
+void Predictor::predict_spans_columnar(
+    std::span<const std::span<const data::SampleRecord>> windows,
+    std::span<Expected<core::Prediction>> out, PredictScratch& scratch,
+    std::size_t min_tier) const {
+  LUMOS_EXPECTS(out.size() >= windows.size(),
+                "Predictor::predict_spans_columnar: one output slot per window");
+  LUMOS_EXPECTS(scratch.max_windows() >= windows.size(),
+                "Predictor::predict_spans_columnar: scratch too small for batch");
+  LUMOS_EXPECTS(scratch.max_width() >= max_width_,
+                "Predictor::predict_spans_columnar: scratch narrower than widest tier");
+
+  // Start with every window pending, in submission order. The tier loop
+  // answers windows tier-by-tier; pending_ is compacted in place each pass
+  // (write index trails read index, so compaction is safe and preserves
+  // order — which keeps feature extraction deterministic and the walk
+  // per-window identical to predict()).
+  std::size_t n_pending = windows.size();
+  for (std::size_t i = 0; i < n_pending; ++i) {
+    scratch.pending_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  for (std::size_t t = min_tier; t < tiers_.size() && n_pending > 0; ++t) {
+    const FlatTier& tier = tiers_[t];
+    if (!tier.compiled) continue;
+    const std::span<double> row{scratch.row_.data(), tier_widths_[t]};
+    // Pack: extract this tier's feature row for every still-pending
+    // window; successes scatter into the column arena, failures stay
+    // pending for the next tier. A window either packs here or compacts
+    // forward — exactly the per-row "first tier whose features the window
+    // can produce" rule of predict().
+    std::size_t n_packed = 0;
+    std::size_t n_next = 0;
+    for (std::size_t k = 0; k < n_pending; ++k) {
+      const std::uint32_t idx = scratch.pending_[k];
+      if (data::feature_row_into(windows[idx], specs_[t], features_, row)) {
+        scratch.cols_.put_row(n_packed, row);
+        scratch.packed_[n_packed++] = idx;
+      } else {
+        scratch.pending_[n_next++] = idx;
+      }
+    }
+    n_pending = n_next;
+    if (n_packed == 0) continue;
+
+    // Evaluate the packed rows in one columnar pass per model: every row
+    // advances together through each tree level over contiguous feature
+    // columns. Per row this is bit-identical to tier.regressor.predict /
+    // tier.classifier.predict on the same extracted features.
+    const data::ColumnBlock block = scratch.cols_.block(0, n_packed);
+    tier.regressor.predict_columnar(
+        block, std::span<double>{scratch.reg_.data(), n_packed});
+    tier.classifier.predict_columnar(
+        block, std::span<int>{scratch.cls_.data(), n_packed});
+    for (std::size_t j = 0; j < n_packed; ++j) {
+      core::Prediction p;
+      p.throughput_mbps = scratch.reg_[j];
+      p.throughput_class = scratch.cls_[j];
+      p.tier = static_cast<int>(t);
+      p.feature_group = tier_names_[t];  // SSO copy: tier names are short
+      out[scratch.packed_[j]] = std::move(p);
+    }
+  }
+
+  // Whatever no tier could serve falls to the same tail as predict().
+  for (std::size_t k = 0; k < n_pending; ++k) {
+    const std::uint32_t idx = scratch.pending_[k];
+    out[idx] = tail_predict(windows[idx]);
+  }
 }
 
 std::vector<Expected<core::Prediction>> Predictor::predict_batch(

@@ -12,11 +12,13 @@
 // lumos::ThreadPool and is bit-identical at any LUMOS_THREADS setting.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/error.h"
 #include "core/lumos5g.h"
+#include "data/column_store.h"
 #include "data/features.h"
 #include "data/sample.h"
 #include "serve/flat_model.h"
@@ -56,6 +58,40 @@ class Session {
   std::vector<data::SampleRecord> window_;
 };
 
+/// Preallocated working set for Predictor::predict_spans_columnar. The
+/// caller owns it and reserves once (cold) for the largest batch it will
+/// submit; every per-batch structure — the column-major feature arena, the
+/// packed-row maps, the per-row model outputs — then lives here, so the
+/// batched columnar walk itself never allocates. Reusable across batches
+/// and across reloads as long as (max_windows, max_width) still fit.
+class PredictScratch {
+ public:
+  PredictScratch() = default;
+
+  /// Sizes every arena for up to `max_windows` windows of feature rows up
+  /// to `max_width` wide (Predictor::max_width()). Allocates; cold path.
+  void reserve(std::size_t max_windows, std::size_t max_width) {
+    cols_.reshape(max_windows, max_width);
+    row_.assign(max_width, 0.0);
+    pending_.assign(max_windows, 0);
+    packed_.assign(max_windows, 0);
+    reg_.assign(max_windows, 0.0);
+    cls_.assign(max_windows, 0);
+  }
+
+  std::size_t max_windows() const noexcept { return pending_.size(); }
+  std::size_t max_width() const noexcept { return row_.size(); }
+
+ private:
+  friend class Predictor;
+  data::ColumnStore cols_;             ///< packed rows, column-major
+  std::vector<double> row_;            ///< one extracted row (scatter source)
+  std::vector<std::uint32_t> pending_; ///< window indices not yet answered
+  std::vector<std::uint32_t> packed_;  ///< packed row -> window index
+  std::vector<double> reg_;            ///< regressor output per packed row
+  std::vector<int> cls_;               ///< classifier output per packed row
+};
+
 class Predictor {
  public:
   /// Builds the flattened serving snapshot of a trained facade. Errors
@@ -91,6 +127,23 @@ class Predictor {
                      std::span<Expected<core::Prediction>> out,
                      std::size_t min_tier = 0) const;
 
+  /// Columnar batched walk, bit-identical to predict_spans on the same
+  /// inputs. Instead of walking every tier per row, it walks every row per
+  /// tier: for each tier (starting at `min_tier`), the windows still
+  /// unanswered are feature-extracted, scattered into the scratch's
+  /// column-major arena, and evaluated in one predict_columnar pass per
+  /// model — many rows advance together through each tree level over
+  /// contiguous feature columns. Windows no tier can serve fall to the
+  /// harmonic tail, exactly like predict().
+  ///
+  /// Allocation-free given a scratch with max_windows() >= windows.size()
+  /// and max_width() >= this->max_width() (reserve it cold; Server does so
+  /// at construction and reload). A root in the lint reachability proof.
+  void predict_spans_columnar(
+      std::span<const std::span<const data::SampleRecord>> windows,
+      std::span<Expected<core::Prediction>> out, PredictScratch& scratch,
+      std::size_t min_tier = 0) const;
+
   /// Batched prediction: out[i] is sessions[i]'s prediction (or its typed
   /// error — e.g. a freshly created session with an unusable window).
   /// Allocating convenience wrapper over predict_spans().
@@ -115,6 +168,10 @@ class Predictor {
   /// 16 bytes each).
   std::size_t n_nodes() const noexcept;
 
+  /// Widest tier's feature-row width — what a PredictScratch must be
+  /// reserved for to serve this predictor.
+  std::size_t max_width() const noexcept { return max_width_; }
+
  private:
   struct FlatTier {
     FlatForest regressor;
@@ -123,6 +180,12 @@ class Predictor {
   };
 
   Predictor() = default;
+
+  /// The post-tier fallback shared by predict() and the columnar walk:
+  /// harmonic mean of recent positive throughputs when enabled, else the
+  /// static kWindowUnusable error.
+  Expected<core::Prediction> tail_predict(
+      std::span<const data::SampleRecord> recent) const;
 
   data::FeatureConfig features_;
   core::FallbackConfig fallback_;

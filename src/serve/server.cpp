@@ -33,6 +33,7 @@ Server::Server(Predictor predictor, ServerConfig cfg, Clock& clock)
   result_arena_.assign(
       cfg_.max_batch,
       Expected<core::Prediction>(Error{ErrorCode::kWindowUnusable, ""}));
+  scratch_.reserve(cfg_.max_batch, predictor_.max_width());
 }
 
 Expected<std::uint64_t> Server::submit(const Request& req) {
@@ -192,11 +193,14 @@ std::size_t Server::poll(std::span<Response> out) {
     ++n_windows;
   }
 
-  // 3. One batched walk over the thread pool into the result arena; each
-  //    slot is written once, so the result is bit-identical at any
-  //    LUMOS_THREADS.
-  predictor_.predict_spans({span_arena_.data(), n_windows},
-                           {result_arena_.data(), n_windows}, min_tier);
+  // 3. One batched columnar walk into the result arena: the batch's
+  //    feature rows are packed tier-by-tier into the preallocated scratch
+  //    and evaluated level-synchronously over contiguous columns —
+  //    bit-identical to predict_spans (enforced by tests/test_columnar.cpp)
+  //    but cache-friendlier per tree level.
+  predictor_.predict_spans_columnar({span_arena_.data(), n_windows},
+                                    {result_arena_.data(), n_windows},
+                                    scratch_, min_tier);
   for (std::size_t j = 0; j < n_windows; ++j) {
     Response& r = out[slot_arena_[j]];
     if (result_arena_[j].has_value()) {
@@ -258,6 +262,9 @@ Expected<void> Server::reload_bytes(std::string_view bytes) {
     stats_.served_by_tier.assign(compiled->tier_specs().size() + 1, 0);
   }
   predictor_ = std::move(*compiled);
+  // The new model's widest tier may differ; re-reserve the columnar
+  // scratch here (cold path) so poll() stays allocation-free.
+  scratch_.reserve(cfg_.max_batch, predictor_.max_width());
   ++generation_;
   ++stats_.reloads_ok;
   return {};

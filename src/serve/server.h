@@ -251,6 +251,10 @@ class Server {
   std::vector<std::span<const data::SampleRecord>> span_arena_;
   std::vector<std::size_t> slot_arena_;
   std::vector<Expected<core::Prediction>> result_arena_;
+  /// Columnar working set for predict_spans_columnar: reserved here and
+  /// after every successful reload (the new model may be wider), never on
+  /// the serving path.
+  PredictScratch scratch_;
 };
 
 }  // namespace lumos::serve

@@ -52,8 +52,11 @@ const AnalysisConfig& default_analysis() {
           "serve::Server::poll",
           "serve::Predictor::predict",
           "serve::Predictor::predict_spans",
+          "serve::Predictor::predict_spans_columnar",
           "serve::FlatForest::predict",
+          "serve::FlatForest::predict_columnar",
           "serve::FlatClassifier::predict",
+          "serve::FlatClassifier::predict_columnar",
           "core::Lumos5G::predict",
       },
       {
