@@ -11,8 +11,10 @@
 #include <map>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/clock.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "core/lumos5g.h"
 #include "core/throughput_map.h"
 #include "data/features.h"
@@ -476,8 +478,12 @@ BENCHMARK(BM_ServePredictBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // The resilient server loop end to end (requests/sec): admission control,
 // deadline stamping, session upkeep, the depth-derived tier floor, and the
-// batched predict, driven submit->step on a virtual clock (Arg = pool
-// size). The delta against BM_ServePredictBatch is the loop's overhead.
+// sharded batched predict, driven submit->step on a virtual clock
+// (threads = pool size = shard count, the server's default pairing). The
+// delta against BM_ServePredictBatch is the loop's overhead; the
+// threads:1 vs threads:8 ratio is the shard fan-out win (flat on a
+// single-core host). `preds_per_sec` reports served predictions per
+// second directly so the scaling curve reads off the counter column.
 void BM_ServerThroughput(benchmark::State& state) {
   static const std::vector<data::SampleRecord>* stream = [] {
     auto* v = new std::vector<data::SampleRecord>;
@@ -489,12 +495,14 @@ void BM_ServerThroughput(benchmark::State& state) {
     }
     return v;
   }();
-  ThreadPool::global().set_threads(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool::global().set_threads(threads);
   for (auto _ : state) {
     ManualClock clock;
     serve::ServerConfig cfg;
     cfg.queue_capacity = 64;
     cfg.max_batch = 16;
+    cfg.num_shards = threads;
     serve::Server server(serve::Predictor(serve_predictor()), cfg, clock);
     std::size_t i = 0;
     for (const auto& s : *stream) {
@@ -507,10 +515,57 @@ void BM_ServerThroughput(benchmark::State& state) {
     benchmark::DoNotOptimize(server.drain());
   }
   ThreadPool::global().set_threads(0);
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(stream->size()));
+  const auto total = state.iterations() *
+                     static_cast<std::int64_t>(stream->size());
+  state.SetItemsProcessed(total);
+  state.counters["preds_per_sec"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ServerThroughput)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServerThroughput)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The SIMD columnar walk in isolation: the same flattened 300-tree GBDT
+// scores the full feature matrix through predict_columnar() with the
+// vector kernel forced off (simd:0 — the scalar level-synchronous walk)
+// and on (simd:1 — the lane-parallel masked-gather walk, when the build
+// has one). Outputs are bit-identical (tests/test_shard.cpp); the
+// simd:0 / simd:1 ratio is the kernel win. On a build without a vector
+// ISA both rows run the scalar path and the ratio pins at ~1x.
+void BM_ColumnarWalkSimd(benchmark::State& state) {
+  static const auto built = data::build_features(
+      airport_ds(), data::FeatureSetSpec::parse("L+M+C"), {});
+  ml::GbdtConfig cfg;
+  cfg.n_estimators = 300;
+  static ml::GbdtRegressor* model = nullptr;
+  if (model == nullptr) {
+    model = new ml::GbdtRegressor(cfg);
+    model->fit(built.x, built.y_reg);
+  }
+  static const serve::FlatForest flat = serve::FlatForest::flatten(*model);
+  static const data::ColumnStore cols =
+      data::ColumnStore::from_matrix(built.x);
+  static std::vector<double> out(built.x.rows());
+  const bool was_enabled = simd::enabled();
+  simd::set_enabled(state.range(0) == 1);
+  for (auto _ : state) {
+    flat.predict_columnar(cols.block(0, built.x.rows()), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::set_enabled(was_enabled);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(built.x.rows()));
+  state.SetLabel(state.range(0) == 1 ? simd::isa_name() : "scalar");
+}
+BENCHMARK(BM_ColumnarWalkSimd)
+    ->ArgName("simd")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // The stall a hot reload inserts between serving steps: full envelope
 // validation + payload parse + tier compile + atomic swap of a T+M+C
@@ -538,3 +593,19 @@ void BM_ThroughputMapBuild(benchmark::State& state) {
 BENCHMARK(BM_ThroughputMapBuild)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Custom main instead of benchmark_main: stamps the context keys benchgate
+// gates on (`lumos_build_type` — the measured library's own build type, as
+// opposed to google-benchmark's `library_build_type` — and the selected
+// SIMD ISA), and prints a loud banner when this binary was built without
+// NDEBUG so debug numbers never get committed as a baseline.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("lumos_build_type", lumos::bench::build_type());
+  benchmark::AddCustomContext("lumos_simd", lumos::simd::isa_name());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lumos::bench::warn_if_debug();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -17,6 +17,33 @@
 
 namespace lumos::bench {
 
+/// Build type of THIS translation unit (the library the benches measure),
+/// as opposed to google-benchmark's `library_build_type` context key,
+/// which only reflects how the benchmark library itself was compiled.
+/// Recorded into the JSON context as `lumos_build_type` so benchgate can
+/// refuse to gate a Release run against a debug baseline (or vice versa).
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Loud banner when the measured library was compiled without NDEBUG:
+/// debug numbers are not comparable to the committed Release baseline and
+/// must never be committed as one.
+inline void warn_if_debug() {
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "================================================================\n"
+               "WARNING: bench built with assertions ON (lumos_build_type=debug).\n"
+               "Numbers are NOT comparable to the committed Release baseline;\n"
+               "do not refresh BENCH_micro.json from this run.\n"
+               "================================================================\n");
+#endif
+}
+
 /// Seeds for the three measurement campaigns. Fixed so every bench binary
 /// sees the same datasets.
 inline constexpr std::uint64_t kAirportSeed = 1001;

@@ -1,0 +1,54 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace lumos::simd {
+namespace {
+
+// -1 = not yet resolved from the environment; 0/1 afterwards. Plain
+// atomic so set_enabled from a test races benignly with readers.
+std::atomic<int> g_enabled{-1};
+
+bool env_allows() noexcept {
+  const char* v = std::getenv("LUMOS_SIMD");
+  if (v == nullptr) return true;
+  if (v[0] == '\0') return true;
+  if ((v[0] == '0' || v[0] == 'o' || v[0] == 'O') &&
+      ((v[0] == '0' && v[1] == '\0') ||
+       ((v[1] == 'f' || v[1] == 'F') && (v[2] == 'f' || v[2] == 'F') &&
+        v[3] == '\0'))) {
+    return false;  // "0" or "off" (any case)
+  }
+  return true;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  if (kDoubleWidth <= 1) return false;
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = env_allows() ? 1 : 0;
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char* isa_name() noexcept {
+#if defined(LUMOS_SIMD_AVX2)
+  return "avx2";
+#elif defined(LUMOS_SIMD_SSE2)
+  return "sse2";
+#elif defined(LUMOS_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace lumos::simd

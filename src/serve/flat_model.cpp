@@ -4,6 +4,12 @@
 
 #include "common/contracts.h"
 #include "common/parallel.h"
+#include "common/simd.h"
+
+#if defined(LUMOS_SIMD_AVX2) || defined(LUMOS_SIMD_SSE2) || \
+    defined(LUMOS_SIMD_NEON)
+#define LUMOS_HAS_VECTOR_WALK 1
+#endif
 
 namespace lumos::serve {
 namespace {
@@ -128,6 +134,23 @@ std::vector<double> FlatForest::predict_batch(
 
 void FlatForest::eval_block(const data::ColumnBlock& block, std::size_t row0,
                             std::size_t m, double* acc) const noexcept {
+#if defined(LUMOS_HAS_VECTOR_WALK)
+  // The vector kernel addresses nodes and column values through 32-bit
+  // gather indices (node index * 4 int32 slots; feature * stride + row).
+  // Both are far inside range for every real model, but guard anyway and
+  // fall back to the scalar walk — same bits either way.
+  if (simd::enabled() && nodes_.size() < (1U << 28) &&
+      block.n_cols * block.stride < (1U << 31)) {
+    eval_block_simd(block, row0, m, acc);
+    return;
+  }
+#endif
+  eval_block_scalar(block, row0, m, acc);
+}
+
+void FlatForest::eval_block_scalar(const data::ColumnBlock& block,
+                                   std::size_t row0, std::size_t m,
+                                   double* acc) const noexcept {
   const bool mean = agg_ == Aggregate::kMean;
   const double init = mean ? 0.0 : base_;
   for (std::size_t j = 0; j < m; ++j) acc[j] = init;
@@ -170,6 +193,130 @@ void FlatForest::eval_block(const data::ColumnBlock& block, std::size_t row0,
     for (std::size_t j = 0; j < m; ++j) acc[j] /= n_trees;
   }
 }
+
+#if defined(LUMOS_HAS_VECTOR_WALK)
+void FlatForest::eval_block_simd(const data::ColumnBlock& block,
+                                 std::size_t row0, std::size_t m,
+                                 double* acc) const noexcept {
+  namespace vs = simd;
+  constexpr std::size_t kW = vs::kDoubleWidth;
+  const std::size_t m_vec = m - m % kW;
+  if (roots_.empty() || m_vec == 0) {
+    eval_block_scalar(block, row0, m, acc);
+    return;
+  }
+
+  // FlatNode is 16 bytes: viewed as doubles, node i's value/threshold is
+  // slot 2*i; viewed as int32s, its feature is slot 4*i + 2 and its
+  // packed left/default word is slot 4*i + 3. The gathers below read the
+  // exact addresses the scalar walk dereferences.
+  const auto* node_f64 = reinterpret_cast<const double*>(nodes_.data());
+  const auto* node_i32 = reinterpret_cast<const std::int32_t*>(nodes_.data());
+
+  const bool mean = agg_ == Aggregate::kMean;
+  const auto scale_v = vs::broadcast_f64(scale_);
+  const auto init_v = vs::broadcast_f64(mean ? 0.0 : base_);
+  const auto stride_v =
+      vs::broadcast_i32(static_cast<std::int32_t>(block.stride));
+  const auto zero_i = vs::broadcast_i32(0);
+  const auto one_i = vs::broadcast_i32(1);
+  const auto two_i = vs::broadcast_i32(2);
+  const auto three_i = vs::broadcast_i32(3);
+  const auto four_i = vs::broadcast_i32(4);
+  const auto minus1_i = vs::broadcast_i32(-1);
+  const auto child_mask_i =
+      vs::broadcast_i32(static_cast<std::int32_t>(FlatNode::kChildMask));
+  const auto zero_f = vs::broadcast_f64(0.0);
+  const auto all_lanes = vs::cmp_le(zero_f, zero_f);  // all-ones mask
+
+  alignas(16) static constexpr std::int32_t kLaneOff[4] = {0, 1, 2, 3};
+  const auto lane_off = vs::load_i32(kLaneOff);
+
+  // Level-synchronous across the WHOLE block, mirroring the scalar walk:
+  // one pass advances every still-active lane group one level before any
+  // group takes its next step. A single group's four gathers form a
+  // serial dependency chain (cur -> feat -> value -> next cur), so
+  // walking one group to completion is latency-bound; interleaving the
+  // groups keeps n_groups independent chains in flight per pass, exactly
+  // the ILP the scalar per-row loop gets from its independent rows.
+  constexpr std::size_t kMaxGroups = kColumnarRowBlock / kW;
+  const std::size_t n_groups = m_vec / kW;
+  vs::VInt32 row_v[kMaxGroups];
+  vs::VInt32 cur[kMaxGroups];
+  vs::VDouble acc_v[kMaxGroups];
+  bool done[kMaxGroups];
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    row_v[g] = vs::add_i32(
+        vs::broadcast_i32(static_cast<std::int32_t>(row0 + g * kW)),
+        lane_off);
+    acc_v[g] = init_v;
+  }
+
+  for (const std::uint32_t root : roots_) {
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      cur[g] = vs::broadcast_i32(static_cast<std::int32_t>(root));
+      done[g] = false;
+    }
+    std::size_t n_active = n_groups;
+    while (n_active > 0) {
+      for (std::size_t g = 0; g < n_groups; ++g) {
+        if (done[g]) continue;
+        const auto nidx4 = vs::mul_i32(cur[g], four_i);
+        const auto feat = vs::gather_i32(node_i32, vs::add_i32(nidx4, two_i));
+        // A lane parks once it reaches a leaf (feature == -1); the group
+        // drops out of the passes when every lane is parked.
+        const auto active32 = vs::cmp_gt_i32(feat, minus1_i);
+        if (vs::movemask_i32(active32) == 0) {
+          done[g] = true;
+          --n_active;
+          continue;
+        }
+        const auto active = vs::mask_widen(active32);
+        const auto left_raw =
+            vs::gather_i32(node_i32, vs::add_i32(nidx4, three_i));
+        const auto thresh =
+            vs::gather_f64(node_f64, vs::mul_i32(cur[g], two_i), active);
+        // Column gather: parked lanes have feature == -1, so their index
+        // is garbage — the mask guarantees no memory access happens for
+        // them (gather_f64 contract).
+        const auto col_idx =
+            vs::add_i32(vs::mul_i32(feat, stride_v), row_v[g]);
+        const auto v = vs::gather_f64(block.base, col_idx, active);
+        // go_left = NaN ? default-left-bit : v <= threshold. cmp_le is an
+        // ordered compare, so a NaN lane reads false there, and the
+        // default bit is the sign bit of the packed left word.
+        const auto le = vs::cmp_le(v, thresh);
+        const auto nan = vs::is_nan(v);
+        const auto dfl = vs::mask_widen(vs::topbit_mask_i32(left_raw));
+        const auto go_left =
+            vs::bit_or(vs::bit_andnot(nan, le), vs::bit_and(nan, dfl));
+        const auto left = vs::and_i32(left_raw, child_mask_i);
+        const auto child =
+            vs::add_i32(left, vs::blend_i32(go_left, zero_i, one_i));
+        cur[g] = vs::blend_i32(active, child, cur[g]);
+      }
+    }
+    // Fold this tree's leaves in tree order: one mul + one add per lane,
+    // the same IEEE op sequence as predict()/eval_block_scalar.
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const auto leaf =
+          vs::gather_f64(node_f64, vs::mul_i32(cur[g], two_i), all_lanes);
+      acc_v[g] = mean ? vs::add(acc_v[g], leaf)
+                      : vs::add(acc_v[g], vs::mul(scale_v, leaf));
+    }
+  }
+  const auto n_trees_v =
+      vs::broadcast_f64(static_cast<double>(roots_.size()));
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (mean) acc_v[g] = vs::div(acc_v[g], n_trees_v);
+    vs::store_f64(acc + g * kW, acc_v[g]);
+  }
+
+  if (m_vec < m) {
+    eval_block_scalar(block, row0 + m_vec, m - m_vec, acc + m_vec);
+  }
+}
+#endif  // LUMOS_HAS_VECTOR_WALK
 
 void FlatForest::predict_columnar(const data::ColumnBlock& block,
                                   std::span<double> out) const {

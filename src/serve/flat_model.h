@@ -102,9 +102,23 @@ class FlatForest {
 
   /// Evaluates rows [row0, row0 + m) of `block` into acc[0..m);
   /// m <= kColumnarRowBlock. The per-row result is bit-identical to
-  /// predict() on that row.
+  /// predict() on that row. Dispatches between the scalar walk and the
+  /// SIMD-width walk (common/simd.h) — both produce the same bits, so the
+  /// choice is pure throughput (simd::enabled(), plus 32-bit gather-index
+  /// range guards).
   void eval_block(const data::ColumnBlock& block, std::size_t row0,
                   std::size_t m, double* acc) const noexcept;
+
+  /// The reference level-synchronous scalar walk (always compiled; the
+  /// LUMOS_SIMD=off fallback and the short-tail path).
+  void eval_block_scalar(const data::ColumnBlock& block, std::size_t row0,
+                         std::size_t m, double* acc) const noexcept;
+
+  /// Branch-free SIMD-width walk: per level one feature gather, one
+  /// column-value masked gather, one ordered compare + NaN default-route
+  /// blend per lane group. Defined only when a vector ISA is compiled in.
+  void eval_block_simd(const data::ColumnBlock& block, std::size_t row0,
+                       std::size_t m, double* acc) const noexcept;
 
   std::vector<FlatNode> nodes_;
   std::vector<std::uint32_t> roots_;  ///< root node index per tree

@@ -1,9 +1,11 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <utility>
 
+#include "common/parallel.h"
 #include "serve/model_io.h"
 
 namespace lumos::serve {
@@ -20,69 +22,88 @@ Server::Server(Predictor predictor, ServerConfig cfg, Clock& clock)
   cfg_.shed_watermark = std::clamp(cfg_.shed_watermark, 0.0, 1.0);
   std::sort(cfg_.degrade_watermarks.begin(), cfg_.degrade_watermarks.end());
   stats_.served_by_tier.assign(predictor_.tier_specs().size() + 1, 0);
+  shed_threshold_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg_.shed_watermark *
+                                  static_cast<double>(cfg_.queue_capacity)));
 
   // Every buffer the serving path touches is allocated here, once: the
-  // admission ring and the poll() batch/window/result arenas. After
-  // construction, submit() and poll() never allocate (enforced by the
-  // lumos_lint reachability pass).
-  ring_.resize(cfg_.queue_capacity);
+  // per-shard admission rings and poll() window/result arenas plus the
+  // global merge arena. After construction, submit() and poll() never
+  // allocate (enforced by the lumos_lint reachability pass).
+  n_shards_ = cfg_.num_shards != 0 ? cfg_.num_shards
+                                   : ThreadPool::global().threads();
+  n_shards_ = std::max<std::size_t>(1, n_shards_);
+  cfg_.num_shards = n_shards_;
+  shards_ = std::make_unique<Shard[]>(n_shards_);
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    Shard& sh = shards_[s];
+    sh.ring_.resize(cfg_.queue_capacity);
+    sh.window_arena_.resize(cfg_.max_batch * cfg_.session_capacity);
+    sh.span_arena_.resize(cfg_.max_batch);
+    sh.slot_arena_.resize(cfg_.max_batch);
+    sh.result_arena_.assign(
+        cfg_.max_batch,
+        Expected<core::Prediction>(Error{ErrorCode::kWindowUnusable, ""}));
+    sh.scratch_.reserve(cfg_.max_batch, predictor_.max_width());
+  }
   batch_arena_.resize(cfg_.max_batch);
-  window_arena_.resize(cfg_.max_batch * cfg_.session_capacity);
-  span_arena_.resize(cfg_.max_batch);
-  slot_arena_.resize(cfg_.max_batch);
-  result_arena_.assign(
-      cfg_.max_batch,
-      Expected<core::Prediction>(Error{ErrorCode::kWindowUnusable, ""}));
-  scratch_.reserve(cfg_.max_batch, predictor_.max_width());
 }
 
 Expected<std::uint64_t> Server::submit(const Request& req) {
   const std::uint64_t now = clock_->now_ms();
-  // Admission is the one sanctioned lock on the hot path: the critical
-  // section is a bounded handful of scalar writes into the preallocated
-  // ring — no allocation, no I/O, no model work ever happens under mu_.
-  const std::scoped_lock lock(mu_);  // lumos-lint: allow(hot-path-lock) bounded admission critical section
-  if (shutting_down_) {
-    ++stats_.rejected_shutdown;
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     // Static messages: admission never formats. The typed code carries
     // the decision; depths and watermarks are visible via stats().
     return Error{ErrorCode::kShuttingDown, "draining"};
   }
-  // Shed at the watermark, and unconditionally at the hard capacity bound.
-  const auto shed_at = static_cast<std::size_t>(
-      cfg_.shed_watermark * static_cast<double>(cfg_.queue_capacity));
-  if (count_ >= std::max<std::size_t>(1, shed_at) ||
-      count_ >= cfg_.queue_capacity) {
-    ++stats_.shed;
+  // Shed at the watermark, and unconditionally at the hard capacity
+  // bound. The global depth is a lock-free counter: reserve a slot first,
+  // give it back if the pre-increment depth was already at the threshold —
+  // the same decision the single-queue server took under its lock.
+  const std::size_t prev =
+      total_count_.fetch_add(1, std::memory_order_acq_rel);
+  if (prev >= shed_threshold_ || prev >= cfg_.queue_capacity) {
+    total_count_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
     return Error{ErrorCode::kOverloaded, "over watermark"};
   }
-  Pending& p = ring_[(head_ + count_) % cfg_.queue_capacity];
-  p.ticket = next_ticket_++;
+  // Admission is the one sanctioned lock on the hot path, and it is now
+  // per-shard: the critical section is a bounded handful of scalar writes
+  // into the shard's preallocated ring — no allocation, no I/O, no model
+  // work ever happens under a shard mutex. The ticket is drawn inside the
+  // lock so every shard ring stays ticket-ascending (what poll()'s k-way
+  // merge relies on).
+  Shard& shard = shards_[shard_of(req.ue_id)];
+  const std::scoped_lock lock(shard.mu_);  // lumos-lint: allow(hot-path-lock) bounded admission critical section
+  Pending& p = shard.ring_[(shard.head_ + shard.count_) % cfg_.queue_capacity];
+  p.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
   p.ue_id = req.ue_id;
   p.enqueued_ms = now;
   const std::uint64_t budget =
       req.deadline_ms != 0 ? req.deadline_ms : cfg_.default_deadline_ms;
   p.expiry_ms = budget != 0 ? now + budget : 0;
   p.sample = req.sample;
-  ++count_;
-  ++stats_.submitted;
-  stats_.peak_depth = std::max(stats_.peak_depth, count_);
+  ++shard.count_;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t depth = prev + 1;
+  std::size_t peak = peak_depth_.load(std::memory_order_relaxed);
+  while (peak < depth && !peak_depth_.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
   return p.ticket;
 }
 
 void Server::begin_shutdown() {
-  const std::scoped_lock lock(mu_);
-  shutting_down_ = true;
+  shutting_down_.store(true, std::memory_order_release);
 }
 
 std::size_t Server::queue_depth() const {
-  const std::scoped_lock lock(mu_);
-  return count_;
+  return total_count_.load(std::memory_order_acquire);
 }
 
 bool Server::shutting_down() const {
-  const std::scoped_lock lock(mu_);
-  return shutting_down_;
+  return shutting_down_.load(std::memory_order_acquire);
 }
 
 std::size_t Server::min_tier_for_depth(std::size_t depth) const noexcept {
@@ -99,26 +120,39 @@ std::size_t Server::min_tier_for_depth(std::size_t depth) const noexcept {
 
 Server::SessionEntry& Server::touch_session(std::uint64_t ue,
                                             std::uint64_t now) {
-  auto it = sessions_.find(ue);
-  if (it == sessions_.end()) {
-    if (sessions_.size() >= cfg_.max_sessions) {
-      // Evict the least-recently-used entry. use_seq_ gives a strict,
+  Shard& home = shards_[shard_of(ue)];
+  auto it = home.sessions_.find(ue);
+  if (it == home.sessions_.end()) {
+    if (n_sessions_ >= cfg_.max_sessions) {
+      // Evict the least-recently-used entry ACROSS ALL SHARDS — the LRU
+      // capacity is global, exactly as in the single-shard server, so the
+      // victim set never depends on num_shards. use_seq_ gives a strict,
       // clock-independent recency order, so the victim is deterministic
       // even when many sessions share one coarse timestamp.
-      auto victim = sessions_.begin();
-      for (auto cand = sessions_.begin(); cand != sessions_.end(); ++cand) {
-        if (cand->second.last_used_seq < victim->second.last_used_seq) {
-          victim = cand;
+      Shard* victim_shard = nullptr;
+      std::map<std::uint64_t, SessionEntry>::iterator victim;
+      for (std::size_t s = 0; s < n_shards_; ++s) {
+        auto& sess = shards_[s].sessions_;
+        for (auto cand = sess.begin(); cand != sess.end(); ++cand) {
+          if (victim_shard == nullptr ||
+              cand->second.last_used_seq < victim->second.last_used_seq) {
+            victim_shard = &shards_[s];
+            victim = cand;
+          }
         }
       }
-      sessions_.erase(victim);
-      ++stats_.evicted_lru;
+      if (victim_shard != nullptr) {
+        victim_shard->sessions_.erase(victim);
+        --n_sessions_;
+        ++stats_.evicted_lru;
+      }
     }
     // First contact for this UE: the one amortized allocation on the
     // serving path (a map node + the session's reserved window). Steady
     // state — every UE already seen — allocates nothing.
-    it = sessions_.emplace(ue, SessionEntry{Session(cfg_.session_capacity),  // lumos-lint: allow(hot-path-alloc) first-contact session creation, amortized
-                                            now, 0}).first;
+    it = home.sessions_.emplace(ue, SessionEntry{Session(cfg_.session_capacity),  // lumos-lint: allow(hot-path-alloc) first-contact session creation, amortized
+                                                 now, 0}).first;
+    ++n_sessions_;
   }
   it->second.last_used_ms = now;
   it->second.last_used_seq = ++use_seq_;
@@ -127,46 +161,74 @@ Server::SessionEntry& Server::touch_session(std::uint64_t ue,
 
 void Server::evict_expired_sessions(std::uint64_t now) {
   if (cfg_.session_ttl_ms == 0) return;
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second.last_used_ms + cfg_.session_ttl_ms < now) {
-      it = sessions_.erase(it);
-      ++stats_.evicted_ttl;
-    } else {
-      ++it;
+  // Shards ascending, then map order within a shard: the evicted SET is
+  // the TTL predicate's, identical to the single-map sweep; only the
+  // bookkeeping order differs, and no observable output depends on it.
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    auto& sess = shards_[s].sessions_;
+    for (auto it = sess.begin(); it != sess.end();) {
+      if (it->second.last_used_ms + cfg_.session_ttl_ms < now) {
+        it = sess.erase(it);
+        --n_sessions_;
+        ++stats_.evicted_ttl;
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 std::size_t Server::poll(std::span<Response> out) {
-  // 1. Drain up to min(max_batch, out.size()) requests into the batch
-  //    arena. The tier floor is derived from the depth at the start of the
-  //    step — the batch about to be served is part of the pressure it was
-  //    admitted under.
+  // 1. Drain up to min(max_batch, out.size()) requests into the merge
+  //    arena, reassembling GLOBAL ticket order from the shard rings with
+  //    a k-way smallest-head-ticket merge (each ring is ticket-ascending,
+  //    so the merged batch is exactly the oldest n admitted requests —
+  //    the same batch, in the same order, the single-queue server
+  //    drained). The tier floor is derived from the depth at the start of
+  //    the step — the batch about to be served is part of the pressure it
+  //    was admitted under. The critical section is bounded scalar copies
+  //    out of preallocated rings, nothing else; shard mutexes are taken
+  //    in ascending index order (the one multi-lock site in the tree).
   std::size_t n = 0;
   std::size_t depth_at_start = 0;
-  {
-    // Same bounded critical section as submit(): scalar copies out of the
-    // preallocated ring, nothing else.
-    const std::scoped_lock lock(mu_);  // lumos-lint: allow(hot-path-lock) bounded drain critical section
-    depth_at_start = count_;
-    n = std::min({cfg_.max_batch, count_, out.size()});
-    for (std::size_t i = 0; i < n; ++i) {
-      batch_arena_[i] = ring_[(head_ + i) % cfg_.queue_capacity];
-    }
-    head_ = (head_ + n) % cfg_.queue_capacity;
-    count_ -= n;
+  for (std::size_t s = 0; s < n_shards_; ++s) shards_[s].mu_.lock();  // lumos-lint: allow(hot-path-lock) bounded drain critical section
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    depth_at_start += shards_[s].count_;
   }
+  n = std::min({cfg_.max_batch, depth_at_start, out.size()});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = n_shards_;
+    std::uint64_t best_ticket = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t s = 0; s < n_shards_; ++s) {
+      const Shard& sh = shards_[s];
+      if (sh.count_ != 0 && sh.ring_[sh.head_].ticket < best_ticket) {
+        best_ticket = sh.ring_[sh.head_].ticket;
+        best = s;
+      }
+    }
+    Shard& sh = shards_[best];
+    batch_arena_[i] = sh.ring_[sh.head_];
+    sh.head_ = (sh.head_ + 1) % cfg_.queue_capacity;
+    --sh.count_;
+  }
+  total_count_.fetch_sub(n, std::memory_order_acq_rel);
+  for (std::size_t s = 0; s < n_shards_; ++s) shards_[s].mu_.unlock();
+
   const std::size_t min_tier = min_tier_for_depth(depth_at_start);
   const std::uint64_t now = clock_->now_ms();
 
   // 2. Expire overdue requests without touching sessions or the model —
   //    an expired answer is pure waste, so it must cost nothing. Live
-  //    requests update their session and snapshot its window into the
-  //    contiguous window arena at their position in admission order, so a
-  //    UE submitting twice in one batch sees its first observation but not
-  //    its second.
-  std::size_t n_windows = 0;
-  std::size_t arena_used = 0;
+  //    requests update their session and snapshot its window into their
+  //    OWNING shard's contiguous window arena, still walking the batch in
+  //    admission order, so a UE submitting twice in one batch sees its
+  //    first observation but not its second — and every window of a UE
+  //    lands in the shard that owns its session, giving phase 3 fully
+  //    disjoint per-shard work.
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    shards_[s].n_windows_ = 0;
+    shards_[s].arena_used_ = 0;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const Pending& p = batch_arena_[i];
     Response& r = out[i];
@@ -183,39 +245,68 @@ std::size_t Server::poll(std::span<Response> out) {
     SessionEntry& entry = touch_session(p.ue_id, now);
     entry.session.observe(p.sample);
     const auto w = entry.session.window();
-    // arena_used never exceeds max_batch * session_capacity (the arena's
+    Shard& home = shards_[shard_of(p.ue_id)];
+    // arena_used_ never exceeds max_batch * session_capacity (the arena's
     // constructed size): at most max_batch windows of at most
-    // session_capacity records each.
-    std::copy(w.begin(), w.end(), window_arena_.begin() + arena_used);
-    span_arena_[n_windows] = {window_arena_.data() + arena_used, w.size()};
-    slot_arena_[n_windows] = i;
-    arena_used += w.size();
-    ++n_windows;
+    // session_capacity records each, even if one shard owns the batch.
+    std::copy(w.begin(), w.end(),
+              home.window_arena_.begin() + home.arena_used_);
+    home.span_arena_[home.n_windows_] = {
+        home.window_arena_.data() + home.arena_used_, w.size()};
+    home.slot_arena_[home.n_windows_] = i;
+    home.arena_used_ += w.size();
+    ++home.n_windows_;
   }
 
-  // 3. One batched columnar walk into the result arena: the batch's
-  //    feature rows are packed tier-by-tier into the preallocated scratch
-  //    and evaluated level-synchronously over contiguous columns —
-  //    bit-identical to predict_spans (enforced by tests/test_columnar.cpp)
-  //    but cache-friendlier per tree level.
-  predictor_.predict_spans_columnar({span_arena_.data(), n_windows},
-                                    {result_arena_.data(), n_windows},
-                                    scratch_, min_tier);
-  for (std::size_t j = 0; j < n_windows; ++j) {
-    Response& r = out[slot_arena_[j]];
-    if (result_arena_[j].has_value()) {
-      const auto tier = static_cast<std::size_t>(result_arena_[j]->tier);
-      if (tier < stats_.served_by_tier.size()) ++stats_.served_by_tier[tier];
-      ++stats_.served;
-    } else {
-      ++stats_.failed;
+  // 3. Fork-join over the shards: each runs one batched columnar walk
+  //    over its own spans into its own result arena (poll_shard). A
+  //    window's prediction depends only on its own rows and the tier
+  //    floor — never on which other windows share the batch — so the
+  //    per-shard split is bit-identical to the single whole-batch call
+  //    (enforced by tests/test_shard.cpp digest crosses). Grain 1 lets
+  //    LUMOS_GRAIN collapse the fan-out on hosts where it costs more
+  //    than it buys.
+  parallel_for(0, n_shards_, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t s = b; s < e; ++s) {
+      poll_shard(shards_[s], min_tier);
     }
-    r.result = std::move(result_arena_[j]);
+  });
+
+  //    Merge + tally sequentially (counters are order-insensitive sums;
+  //    each out[] slot is written exactly once via slot_arena_).
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    Shard& sh = shards_[s];
+    for (std::size_t j = 0; j < sh.n_windows_; ++j) {
+      Response& r = out[sh.slot_arena_[j]];
+      if (sh.result_arena_[j].has_value()) {
+        const auto tier = static_cast<std::size_t>(sh.result_arena_[j]->tier);
+        if (tier < stats_.served_by_tier.size()) {
+          ++stats_.served_by_tier[tier];
+        }
+        ++stats_.served;
+      } else {
+        ++stats_.failed;
+      }
+      r.result = std::move(sh.result_arena_[j]);
+    }
   }
 
   // 4. Idle-session TTL sweep against the same `now` the batch saw.
   evict_expired_sessions(now);
   return n;
+}
+
+void Server::poll_shard(Shard& shard, std::size_t min_tier) const {
+  if (shard.n_windows_ == 0) return;
+  // One batched columnar walk into the shard's result arena: the shard's
+  // feature rows are packed tier-by-tier into its preallocated scratch
+  // and evaluated level-synchronously over contiguous columns —
+  // bit-identical to predict_spans (enforced by tests/test_columnar.cpp)
+  // but cache-friendlier per tree level.
+  predictor_.predict_spans_columnar(
+      {shard.span_arena_.data(), shard.n_windows_},
+      {shard.result_arena_.data(), shard.n_windows_}, shard.scratch_,
+      min_tier);
 }
 
 std::vector<Response> Server::step() {
@@ -262,9 +353,11 @@ Expected<void> Server::reload_bytes(std::string_view bytes) {
     stats_.served_by_tier.assign(compiled->tier_specs().size() + 1, 0);
   }
   predictor_ = std::move(*compiled);
-  // The new model's widest tier may differ; re-reserve the columnar
-  // scratch here (cold path) so poll() stays allocation-free.
-  scratch_.reserve(cfg_.max_batch, predictor_.max_width());
+  // The new model's widest tier may differ; re-reserve every shard's
+  // columnar scratch here (cold path) so poll() stays allocation-free.
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    shards_[s].scratch_.reserve(cfg_.max_batch, predictor_.max_width());
+  }
   ++generation_;
   ++stats_.reloads_ok;
   return {};

@@ -6,11 +6,18 @@
 // (and occasionally corrupted) underneath it. The Server adds exactly that
 // missing operational layer:
 //
-//   * Bounded MPSC admission queue. Any number of producer threads call
-//     submit(); one consumer drives step(). Admission is controlled by a
+//   * Bounded MPSC admission queue, sharded by UE. Any number of producer
+//     threads call submit(); one consumer drives step(). Requests route to
+//     one of `num_shards` shards by a stable hash of ue_id — producers on
+//     different shards contend only on a lock-free global depth counter —
+//     and poll() merges the shard rings back into global ticket order, so
+//     sharding is invisible in every output. Admission is controlled by a
 //     shed watermark: at or above `shed_watermark` occupancy the request is
 //     rejected with a typed kOverloaded error instead of growing the queue
 //     (and a hard cap at queue_capacity backstops a watermark of 1.0).
+//     Within poll(), the per-shard batch slices are predicted fork-join
+//     over the thread pool (see DESIGN §12), bit-identically to the
+//     single-shard walk.
 //
 //   * Per-request deadlines. Each accepted request carries an absolute
 //     expiry (relative budget stamped against the injected Clock at
@@ -48,9 +55,11 @@
 // outside the pool, and a pumped loop is what makes the soak deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string_view>
@@ -92,6 +101,14 @@ struct ServerConfig {
   // --- hot reload ---
   std::size_t reload_max_attempts = 3;   ///< tries per reload() call
   std::uint64_t reload_backoff_ms = 10;  ///< initial backoff, doubles per retry
+
+  // --- sharding ---
+  /// Number of admission/session shards (requests are routed by a stable
+  /// hash of ue_id). 0 = thread-pool size at construction. Sharding never
+  /// changes results — poll() merges shard queues back into global ticket
+  /// order, so responses, tiers, and eviction effects are bit-identical at
+  /// any shard count; it only sets how wide poll() can fan out.
+  std::size_t num_shards = 0;
 };
 
 /// One prediction request: UE `ue_id` observed `sample` this second and
@@ -117,8 +134,8 @@ struct Response {
 
 /// Monotone counters exposed for tests, benches, and operators. Updated
 /// only by the consumer side (step()/reload()) except submitted/shed/
-/// rejected_shutdown/peak_depth, which the admission path maintains under
-/// the queue lock.
+/// rejected_shutdown/peak_depth, which the admission path maintains as
+/// lock-free atomics (stats() snapshots them into this plain view).
 struct ServerStats {
   std::uint64_t submitted = 0;          ///< accepted by submit()
   std::uint64_t shed = 0;               ///< rejected kOverloaded
@@ -198,10 +215,20 @@ class Server {
 
   const Predictor& predictor() const noexcept { return predictor_; }
   const ServerConfig& config() const noexcept { return cfg_; }
-  const ServerStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t n_sessions() const noexcept {
-    return sessions_.size();
+  /// Snapshot view: folds the admission-side atomics into the plain
+  /// counter struct. Call from a quiescent point for exact totals.
+  const ServerStats& stats() const noexcept {
+    stats_.submitted = submitted_.load(std::memory_order_relaxed);
+    stats_.shed = shed_.load(std::memory_order_relaxed);
+    stats_.rejected_shutdown =
+        rejected_shutdown_.load(std::memory_order_relaxed);
+    stats_.peak_depth = peak_depth_.load(std::memory_order_relaxed);
+    return stats_;
   }
+  [[nodiscard]] std::size_t n_sessions() const noexcept {
+    return n_sessions_;
+  }
+  [[nodiscard]] std::size_t n_shards() const noexcept { return n_shards_; }
 
  private:
   struct Pending {
@@ -218,43 +245,82 @@ class Server {
     std::uint64_t last_used_seq = 0;   ///< for deterministic LRU order
   };
 
-  /// Returns the session for `ue`, creating it (and LRU-evicting past
-  /// capacity) if needed.
+  /// One admission/session shard. Padded to a cache line so one shard's
+  /// queue counters and mutex never false-share with a neighbour's while
+  /// producers on different shards admit concurrently. Each shard owns a
+  /// full-capacity ring (any single shard may momentarily hold the whole
+  /// admitted load) and the poll() arenas for its slice of the batch, so
+  /// the per-shard predict fan-out shares no mutable state.
+  struct alignas(64) Shard {
+    mutable std::mutex mu_;  ///< guards ring_/head_/count_
+    std::vector<Pending> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+
+    // Consumer-side state (poll()/reload() only; no lock needed).
+    std::map<std::uint64_t, SessionEntry> sessions_;
+    std::vector<data::SampleRecord> window_arena_;
+    std::vector<std::span<const data::SampleRecord>> span_arena_;
+    std::vector<std::size_t> slot_arena_;  ///< out[] index per window
+    std::vector<Expected<core::Prediction>> result_arena_;
+    std::size_t n_windows_ = 0;
+    std::size_t arena_used_ = 0;
+    /// Columnar working set for predict_spans_columnar: reserved at
+    /// construction and after every successful reload (the new model may
+    /// be wider), never on the serving path.
+    PredictScratch scratch_;
+  };
+
+  /// Stable ue -> shard routing (splitmix64 finalizer): platform- and
+  /// run-independent, so shard membership — and therefore every digest —
+  /// depends only on (ue_id, num_shards).
+  [[nodiscard]] std::size_t shard_of(std::uint64_t ue) const noexcept {
+    std::uint64_t x = ue + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % n_shards_);
+  }
+
+  /// Returns the session for `ue`, creating it (and LRU-evicting past the
+  /// GLOBAL capacity, scanning every shard for the minimum-seq victim) if
+  /// needed.
   SessionEntry& touch_session(std::uint64_t ue, std::uint64_t now);
   void evict_expired_sessions(std::uint64_t now);
+
+  /// Phase-3 per-shard model work: one batched columnar predict over the
+  /// shard's window spans into its result arena. A hot-path root in the
+  /// lint reachability proof (runs inside the poll() fork-join).
+  void poll_shard(Shard& shard, std::size_t min_tier) const;
 
   ServerConfig cfg_;
   Clock* clock_;
   Predictor predictor_;
 
-  mutable std::mutex mu_;  ///< guards the ring + admission-side stats
-  /// Fixed-capacity ring buffer (queue_capacity slots, allocated once in
-  /// the constructor): admission never allocates. head_ is the oldest
-  /// pending request; count_ the number queued.
-  std::vector<Pending> ring_;
-  std::size_t head_ = 0;
-  std::size_t count_ = 0;
-  bool shutting_down_ = false;
-  std::uint64_t next_ticket_ = 1;
+  std::size_t n_shards_ = 1;
+  std::unique_ptr<Shard[]> shards_;
+
+  // Admission-side shared state: lock-free so producers on different
+  // shards only contend on their own shard's mutex.
+  std::atomic<std::size_t> total_count_{0};
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<std::uint64_t> next_ticket_{1};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::size_t> peak_depth_{0};
+  /// Precomputed max(1, shed_watermark * queue_capacity).
+  std::size_t shed_threshold_ = 1;
 
   // Consumer-side state: only touched from poll()/reload().
-  std::map<std::uint64_t, SessionEntry> sessions_;
+  std::size_t n_sessions_ = 0;  ///< sum over shards_[*].sessions_.size()
   std::uint64_t use_seq_ = 0;
   std::uint64_t generation_ = 1;
-  ServerStats stats_;
+  mutable ServerStats stats_;
 
-  // Preallocated poll() arenas (sized once in the constructor): the batch
-  // snapshot, the contiguous window copies plus their spans, the
-  // response-slot mapping, and the prediction results.
+  /// Preallocated merge arena: poll() reassembles the global-ticket-order
+  /// batch here from the shard rings.
   std::vector<Pending> batch_arena_;
-  std::vector<data::SampleRecord> window_arena_;
-  std::vector<std::span<const data::SampleRecord>> span_arena_;
-  std::vector<std::size_t> slot_arena_;
-  std::vector<Expected<core::Prediction>> result_arena_;
-  /// Columnar working set for predict_spans_columnar: reserved here and
-  /// after every successful reload (the new model may be wider), never on
-  /// the serving path.
-  PredictScratch scratch_;
 };
 
 }  // namespace lumos::serve

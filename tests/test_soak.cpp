@@ -15,6 +15,7 @@
 //     bit for bit, at LUMOS_THREADS=1 and =8 alike (the suite is also run
 //     under both pins from CMake).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <bit>
@@ -91,8 +92,10 @@ struct SoakReport {
 
 /// One full soak run: pure function of (seed, ticks) — and, by the
 /// serving-layer determinism contract, of nothing else (not the thread
-/// count, not real time).
-SoakReport run_soak(std::uint64_t seed, std::size_t ticks) {
+/// count, not the shard count, not real time). `num_shards` = 0 keeps the
+/// server default (pool size).
+SoakReport run_soak(std::uint64_t seed, std::size_t ticks,
+                    std::size_t num_shards = 0) {
   const auto& ds = airport_ds();
   const auto runs = ds.runs();
 
@@ -107,6 +110,7 @@ SoakReport run_soak(std::uint64_t seed, std::size_t ticks) {
   cfg.session_ttl_ms = 60'000;
   cfg.reload_max_attempts = 2;
   cfg.reload_backoff_ms = 5;
+  cfg.num_shards = num_shards;
   auto compiled = Predictor::compile(facade());
   EXPECT_TRUE(compiled.has_value());
   Server server(std::move(*compiled), cfg, clock);
@@ -117,9 +121,14 @@ SoakReport run_soak(std::uint64_t seed, std::size_t ticks) {
   chaos_cfg.flood_factor = 10;
   ChaosInjector chaos(chaos_cfg, seed);
 
+  // Pid-unique artifact name: the same seeds run concurrently in the
+  // LUMOS_THREADS=1 and =8 ctest registrations of this binary, and a
+  // shared path would let one process's reload read (or remove) the
+  // other's half-written bytes.
   const auto reload_path =
       std::filesystem::temp_directory_path() /
-      ("lumos_soak_" + std::to_string(seed) + ".l5gm");
+      ("lumos_soak_" + std::to_string(seed) + "_" +
+       std::to_string(::getpid()) + ".l5gm");
 
   Digest digest;
   SoakReport report;
@@ -280,6 +289,36 @@ TEST(Soak, DigestIsIdenticalAtOneAndEightThreads) {
   ThreadPool::global().set_threads(0);  // back to the environment default
   EXPECT_EQ(one.digest, eight.digest);
   EXPECT_EQ(one.answered, eight.answered);
+}
+
+TEST(Soak, DigestIsIdenticalAcrossShardCounts) {
+  const SoakReport one = run_soak(/*seed=*/13, kTicks, /*num_shards=*/1);
+  const SoakReport eight = run_soak(/*seed=*/13, kTicks, /*num_shards=*/8);
+  EXPECT_EQ(one.digest, eight.digest);
+  EXPECT_EQ(one.answered, eight.answered);
+  EXPECT_EQ(one.reload_ok, eight.reload_ok);
+  EXPECT_EQ(one.reload_rolled_back, eight.reload_rolled_back);
+}
+
+// The full cross: the response stream is one digest for every
+// (threads, shards) pairing — the sharded fan-out neither reorders nor
+// re-associates anything at any pool size.
+TEST(Soak, DigestIsIdenticalAcrossThreadShardCross) {
+  std::uint64_t expect = 0;
+  bool first = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ThreadPool::global().set_threads(threads);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+      const SoakReport r = run_soak(/*seed=*/17, kTicks / 3, shards);
+      if (first) {
+        expect = r.digest;
+        first = false;
+      }
+      EXPECT_EQ(r.digest, expect)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+  ThreadPool::global().set_threads(0);
 }
 
 }  // namespace

@@ -15,7 +15,11 @@
 //
 // Exit status: 0 = within threshold (or a row is missing from the
 // baseline — new rows gate once the baseline is refreshed), 1 = regression,
-// 2 = usage/run error.
+// 2 = usage/run error — including a build-type mismatch: when the
+// baseline's recorded build type (lumos_build_type, falling back to
+// google-benchmark's library_build_type) differs from the fresh run's,
+// the comparison measures the build type rather than the change under
+// test, and benchgate refuses to gate it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,6 +70,28 @@ std::string read_file(const std::string& path) {
   return text.str();
 }
 
+/// Build type recorded in a google-benchmark JSON context. Prefers the
+/// bench binary's own `lumos_build_type` stamp (the build type of the
+/// measured library); falls back to google-benchmark's
+/// `library_build_type` (how the benchmark library was compiled) for
+/// baselines recorded before the custom stamp existed. Empty when neither
+/// key is present.
+std::string build_type_of(const std::string& text) {
+  static const std::regex kKey(
+      R"rx("(?:lumos|library)_build_type"\s*:\s*"([^"]+)")rx");
+  std::string lumos, library;
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kKey);
+       it != std::sregex_iterator(); ++it) {
+    const std::string whole = (*it)[0].str();
+    if (whole.find("lumos_build_type") != std::string::npos) {
+      lumos = (*it)[1].str();
+    } else {
+      library = (*it)[1].str();
+    }
+  }
+  return lumos.empty() ? library : lumos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,7 +99,7 @@ int main(int argc, char** argv) {
   std::string baseline;
   std::string filter = "BM_ServerThroughput|BM_FlatVsPointerPredict|"
                        "BM_ServePredictBatch|BM_HistogramBuild|"
-                       "BM_ColumnarVsRowPredict";
+                       "BM_ColumnarVsRowPredict|BM_ColumnarWalkSimd";
   double threshold = 2.0;
   if (const char* env = std::getenv("LUMOS_BENCHGATE_FACTOR")) {
     const double f = std::atof(env);
@@ -115,9 +141,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "benchgate: bench run failed: %s\n", cmd.c_str());
     return 2;
   }
-  const Rows fresh = parse_rows(read_file(out_path));
+  const std::string fresh_text = read_file(out_path);
+  const Rows fresh = parse_rows(fresh_text);
   if (fresh.empty()) {
     std::fprintf(stderr, "benchgate: no rows parsed from fresh run\n");
+    return 2;
+  }
+
+  // A debug run gated against a Release baseline (or vice versa) measures
+  // the build type, not the change under test — refuse outright rather
+  // than emit a misleading pass/fail.
+  const std::string base_bt = build_type_of(read_file(baseline));
+  const std::string fresh_bt = build_type_of(fresh_text);
+  if (!base_bt.empty() && !fresh_bt.empty() && base_bt != fresh_bt) {
+    std::fprintf(stderr,
+                 "benchgate: build-type mismatch: baseline is '%s' but the "
+                 "fresh run is '%s'; refusing to gate (rebuild to match, or "
+                 "refresh the baseline from a '%s' build)\n",
+                 base_bt.c_str(), fresh_bt.c_str(), fresh_bt.c_str());
     return 2;
   }
 

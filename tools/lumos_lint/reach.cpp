@@ -50,14 +50,22 @@ const AnalysisConfig& default_analysis() {
       {
           "serve::Server::submit",
           "serve::Server::poll",
+          "serve::Server::poll_shard",
           "serve::Predictor::predict",
           "serve::Predictor::predict_spans",
           "serve::Predictor::predict_spans_columnar",
           "serve::FlatForest::predict",
           "serve::FlatForest::predict_columnar",
+          "serve::FlatForest::eval_block",
+          "serve::FlatForest::eval_block_scalar",
+          "serve::FlatForest::eval_block_simd",
           "serve::FlatClassifier::predict",
           "serve::FlatClassifier::predict_columnar",
           "core::Lumos5G::predict",
+          "ml::KnnRegressor::predict_scan",
+          "ml::KnnClassifier::predict_scan",
+          "ml::OrdinaryKriging::predict_scan",
+          "ml::LuSolver::solve_into",
       },
       {
           {"src/common/clock.",
